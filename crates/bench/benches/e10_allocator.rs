@@ -1,0 +1,5 @@
+//! Bench target regenerating experiment E10 (see DESIGN.md).
+fn main() {
+    let ctx = bench::cli::ExpCtx::from_env();
+    print!("{}", bench::exp::e10(&ctx));
+}

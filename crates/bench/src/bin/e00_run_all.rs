@@ -1,0 +1,22 @@
+//! Run every experiment (E1–E13) and write the collected reports to
+//! `results/experiments.txt` (and stdout). Scale via `PIBENCH_*`
+//! environment variables; see the `bench` crate docs.
+
+use std::io::Write;
+
+fn main() {
+    let ctx = bench::cli::ExpCtx::from_env();
+    let mut all_out = String::new();
+    for (id, f) in bench::exp::all() {
+        eprintln!(">> running {id} …");
+        let t0 = std::time::Instant::now();
+        let out = f(&ctx);
+        eprintln!("   {id} done in {:.1}s", t0.elapsed().as_secs_f64());
+        print!("{out}");
+        all_out.push_str(&out);
+    }
+    std::fs::create_dir_all("results").expect("create results dir");
+    let mut f = std::fs::File::create("results/experiments.txt").expect("create results file");
+    f.write_all(all_out.as_bytes()).expect("write results");
+    eprintln!("results written to results/experiments.txt");
+}

@@ -1,0 +1,183 @@
+//! The PiBench command-line tool: run one configurable workload
+//! against one index and print the full metric set.
+//!
+//! ```text
+//! pibench --index fptree --records 1000000 --threads 8 \
+//!         --mix 90,10,0,0,0 --dist uniform --ops 1000000 [--dram] [--csv]
+//! ```
+
+use pibench::report::{fmt_bytes, fmt_ns, Table};
+use pibench::{prefill, run, BenchConfig, Distribution, KeySpace, OpMix};
+use pmem::PmConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pibench --index <fptree|nvtree|wbtree|bztree|dram> \
+         [--records N] [--threads N] [--ops N] \
+         [--mix L,I,U,R,S] [--dist uniform|selfsimilar|zipfian] \
+         [--scan-len N] [--seed N] [--dram] [--csv]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut index_kind = String::new();
+    let mut records: u64 = 1_000_000;
+    let mut threads: usize = 1;
+    let mut ops: u64 = 1_000_000;
+    let mut mix = OpMix::pure(pibench::OpKind::Lookup);
+    let mut dist = Distribution::Uniform;
+    let mut scan_len = 100usize;
+    let mut seed = 0x5EEDu64;
+    let mut dram_mode = false;
+    let mut csv = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().cloned().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--index" => index_kind = val(),
+            "--records" => records = val().parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = val().parse().unwrap_or_else(|_| usage()),
+            "--ops" => ops = val().parse().unwrap_or_else(|_| usage()),
+            "--scan-len" => scan_len = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
+            "--dram" => dram_mode = true,
+            "--csv" => csv = true,
+            "--mix" => {
+                let v = val();
+                let parts: Vec<u8> = v.split(',').filter_map(|p| p.parse().ok()).collect();
+                if parts.len() != 5 {
+                    usage();
+                }
+                mix = OpMix {
+                    lookup: parts[0],
+                    insert: parts[1],
+                    update: parts[2],
+                    remove: parts[3],
+                    scan: parts[4],
+                };
+            }
+            "--dist" => {
+                dist = match val().as_str() {
+                    "uniform" => Distribution::Uniform,
+                    "selfsimilar" => Distribution::self_similar_80_20(),
+                    "zipfian" => Distribution::Zipfian { theta: 0.9 },
+                    _ => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other}");
+                usage();
+            }
+        }
+    }
+    if index_kind.is_empty() {
+        usage();
+    }
+    mix.validate();
+
+    let pm_cfg = if dram_mode {
+        PmConfig::dram()
+    } else {
+        PmConfig::optane_like()
+    };
+    eprintln!("building {index_kind} and prefilling {records} records …");
+    let built = bench::registry::build(&index_kind, records, pm_cfg);
+    let ks = KeySpace::new(records);
+    let load = prefill(&*built.index, &ks, threads.max(1));
+    eprintln!(
+        "prefill took {:.2}s ({:.3} Mops/s)",
+        load.as_secs_f64(),
+        records as f64 / load.as_secs_f64() / 1e6
+    );
+
+    let cfg = BenchConfig {
+        threads,
+        records,
+        ops_per_thread: Some((ops / threads as u64).max(1)),
+        duration: None,
+        mix,
+        distribution: dist,
+        scan_len,
+        latency_sample_shift: 3,
+        seed,
+        negative_lookups: false,
+    };
+    let r = run(&*built.index, &ks, built.pool.as_deref(), &cfg);
+
+    let mut t = Table::new(vec!["metric", "value"]);
+    t.row(vec!["index".to_string(), index_kind.clone()]);
+    t.row(vec!["threads".to_string(), threads.to_string()]);
+    t.row(vec![
+        "elapsed".to_string(),
+        format!("{:.3}s", r.elapsed.as_secs_f64()),
+    ]);
+    t.row(vec!["total ops".to_string(), r.total_ops().to_string()]);
+    t.row(vec![
+        "throughput".to_string(),
+        format!("{:.3} Mops/s", r.mops()),
+    ]);
+    t.row(vec!["misses".to_string(), r.misses.to_string()]);
+    for k in pibench::workload::OP_KINDS {
+        let n = r.ops[k as usize];
+        if n == 0 {
+            continue;
+        }
+        let h = &r.latency[k as usize];
+        t.row(vec![
+            format!("{} p50/p99/p99.9", k.label()),
+            format!(
+                "{} / {} / {}",
+                fmt_ns(h.percentile(50.0)),
+                fmt_ns(h.percentile(99.0)),
+                fmt_ns(h.percentile(99.9))
+            ),
+        ]);
+    }
+    if built.pool.is_some() {
+        t.row(vec![
+            "PM media read".to_string(),
+            format!(
+                "{} ({:.0} B/op)",
+                fmt_bytes(r.pm.media_read_bytes),
+                r.pm_read_bytes_per_op()
+            ),
+        ]);
+        t.row(vec![
+            "PM media write".to_string(),
+            format!(
+                "{} ({:.0} B/op)",
+                fmt_bytes(r.pm.media_write_bytes),
+                r.pm_write_bytes_per_op()
+            ),
+        ]);
+        t.row(vec![
+            "PM bandwidth".to_string(),
+            format!(
+                "{:.3} / {:.3} GiB/s (r/w)",
+                r.pm_read_gibps(),
+                r.pm_write_gibps()
+            ),
+        ]);
+        t.row(vec![
+            "clwb / fence".to_string(),
+            format!("{} / {}", r.pm.clwb, r.pm.fence),
+        ]);
+    }
+    let f = built.index.footprint();
+    t.row(vec![
+        "footprint".to_string(),
+        format!(
+            "PM {} / DRAM {}",
+            fmt_bytes(f.pm_bytes),
+            fmt_bytes(f.dram_bytes)
+        ),
+    ]);
+    print!("{}", t.to_text());
+    if csv {
+        print!("{}", t.to_csv());
+    }
+}

@@ -1,0 +1,120 @@
+//! Experiment scale configuration from the environment.
+
+use pibench::{BenchConfig, Distribution, OpMix};
+
+/// Scale knobs shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct ExpCtx {
+    /// Records prefilled per index.
+    pub records: u64,
+    /// Operations per data point (split across threads).
+    pub ops_per_point: u64,
+    /// Largest thread count in sweeps.
+    pub max_threads: usize,
+    /// Also emit CSV blocks.
+    pub csv: bool,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl ExpCtx {
+    /// Read scale from `PIBENCH_*` environment variables.
+    pub fn from_env() -> ExpCtx {
+        let quick = std::env::var("PIBENCH_QUICK").is_ok_and(|v| v == "1");
+        let base_records = if quick { 30_000 } else { 300_000 };
+        let records = env_u64("PIBENCH_RECORDS", base_records);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ExpCtx {
+            records,
+            ops_per_point: env_u64("PIBENCH_OPS", records),
+            max_threads: env_u64("PIBENCH_THREADS", cores.min(8) as u64) as usize,
+            csv: std::env::var("PIBENCH_CSV").is_ok_and(|v| v == "1"),
+        }
+    }
+
+    /// Thread sweep: 1, 2, 4, … up to `max_threads` (inclusive).
+    pub fn thread_ladder(&self) -> Vec<usize> {
+        let mut v = Vec::new();
+        let mut t = 1;
+        while t < self.max_threads {
+            v.push(t);
+            t *= 2;
+        }
+        v.push(self.max_threads);
+        v.dedup();
+        v
+    }
+
+    /// The mid-scale thread count used where the paper reports "20
+    /// threads" (half the machine).
+    pub fn mid_threads(&self) -> usize {
+        (self.max_threads / 2).max(1)
+    }
+
+    /// A bench config for one data point.
+    pub fn point(&self, threads: usize, mix: OpMix, dist: Distribution) -> BenchConfig {
+        BenchConfig {
+            threads,
+            records: self.records,
+            ops_per_thread: Some((self.ops_per_point / threads as u64).max(1)),
+            duration: None,
+            mix,
+            distribution: dist,
+            scan_len: 100,
+            latency_sample_shift: 3,
+            seed: 0x5EED,
+            negative_lookups: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_increasing_and_capped() {
+        let ctx = ExpCtx {
+            records: 1000,
+            ops_per_point: 1000,
+            max_threads: 6,
+            csv: false,
+        };
+        assert_eq!(ctx.thread_ladder(), vec![1, 2, 4, 6]);
+        let ctx2 = ExpCtx {
+            max_threads: 8,
+            ..ctx.clone()
+        };
+        assert_eq!(ctx2.thread_ladder(), vec![1, 2, 4, 8]);
+        let ctx1 = ExpCtx {
+            max_threads: 1,
+            ..ctx
+        };
+        assert_eq!(ctx1.thread_ladder(), vec![1]);
+        assert_eq!(ctx1.mid_threads(), 1);
+    }
+
+    #[test]
+    fn point_splits_ops_across_threads() {
+        let ctx = ExpCtx {
+            records: 10_000,
+            ops_per_point: 10_000,
+            max_threads: 4,
+            csv: false,
+        };
+        let cfg = ctx.point(
+            4,
+            OpMix::pure(pibench::OpKind::Lookup),
+            Distribution::Uniform,
+        );
+        assert_eq!(cfg.ops_per_thread, Some(2_500));
+        assert_eq!(cfg.threads, 4);
+    }
+}

@@ -1,0 +1,569 @@
+//! The experiments (E1–E13), one function per table/figure.
+//!
+//! Every function returns the rendered report so the `e00_run_all`
+//! binary can collect them into a results file; bench targets print to
+//! stdout.
+
+use std::sync::Arc;
+
+use pibench::report::{fmt_bytes, fmt_mops, fmt_ns, Table};
+use pibench::{prefill, run, BenchConfig, Distribution, KeySpace, OpKind, OpMix, RunResult};
+use pmem::{PmConfig, PmPool};
+
+use crate::cli::ExpCtx;
+use crate::registry::{self, Built, ALL_KINDS, PM_KINDS};
+
+/// Device config used by the PM experiments: full emulation with the
+/// calibrated Optane-like latency model.
+pub fn pm_cfg() -> PmConfig {
+    PmConfig::optane_like()
+}
+
+/// Build + prefill one index.
+fn fresh(kind: &str, ctx: &ExpCtx, pm: PmConfig) -> (Built, KeySpace) {
+    let b = registry::build(kind, ctx.records, pm);
+    let ks = KeySpace::new(ctx.records);
+    prefill(&*b.index, &ks, ctx.max_threads);
+    (b, ks)
+}
+
+fn run_point(b: &Built, ks: &KeySpace, cfg: &BenchConfig) -> RunResult {
+    run(&*b.index, ks, b.pool.as_deref(), cfg)
+}
+
+fn render(title: &str, ctx: &ExpCtx, table: &Table) -> String {
+    let mut out = format!(
+        "== {title} ==\n(records={}, ops/point={}, max_threads={})\n\n{}",
+        ctx.records,
+        ctx.ops_per_point,
+        ctx.max_threads,
+        table.to_text()
+    );
+    if ctx.csv {
+        out.push_str("\n[csv]\n");
+        out.push_str(&table.to_csv());
+    }
+    out.push('\n');
+    out
+}
+
+/// Ops used by the throughput experiments, in run order: read-only
+/// first, then mutating (inserts grow the tree, removes run last).
+const E1_OPS: [OpKind; 5] = [
+    OpKind::Lookup,
+    OpKind::Scan,
+    OpKind::Update,
+    OpKind::Insert,
+    OpKind::Remove,
+];
+
+/// E1 — single-threaded throughput per operation (uniform).
+pub fn e01(ctx: &ExpCtx) -> String {
+    let mut t = Table::new(vec![
+        "index", "lookup", "scan", "update", "insert", "remove",
+    ]);
+    for kind in ALL_KINDS {
+        let (b, ks) = fresh(kind, ctx, pm_cfg());
+        let mut cells = vec![kind.to_string()];
+        for op in E1_OPS {
+            let cfg = ctx.point(1, OpMix::pure(op), Distribution::Uniform);
+            let r = run_point(&b, &ks, &cfg);
+            cells.push(fmt_mops(r.mops()));
+        }
+        t.row(cells);
+    }
+    render("E1: single-threaded throughput (Mops/s, uniform)", ctx, &t)
+}
+
+/// Shared machinery for the scalability sweeps (E2/E3).
+fn scalability(ctx: &ExpCtx, ops: &[OpKind], dist: Distribution, title: &str) -> String {
+    let ladder = ctx.thread_ladder();
+    let mut header = vec!["index".to_string(), "op".to_string()];
+    header.extend(ladder.iter().map(|t| format!("{t}t")));
+    let mut t = Table::new(header);
+    for kind in ALL_KINDS {
+        for &op in ops {
+            // wB+Tree is single-threaded by design; the paper only ran
+            // it at one thread. We still sweep it (mutex-serialized) so
+            // the flat line is visible in the data.
+            let mutating = matches!(op, OpKind::Insert | OpKind::Remove);
+            let mut cells = vec![kind.to_string(), op.label().to_string()];
+            // Reuse one prefilled index for non-growing ops.
+            let mut reuse: Option<(Built, KeySpace)> = if mutating {
+                None
+            } else {
+                Some(fresh(kind, ctx, pm_cfg()))
+            };
+            for &threads in &ladder {
+                let pair;
+                let (b, ks) = match &reuse {
+                    Some(p) => p,
+                    None => {
+                        pair = fresh(kind, ctx, pm_cfg());
+                        &pair
+                    }
+                };
+                let cfg = ctx.point(threads, OpMix::pure(op), dist);
+                let r = run_point(b, ks, &cfg);
+                cells.push(fmt_mops(r.mops()));
+                if mutating {
+                    reuse = None; // rebuilt next iteration
+                }
+            }
+            t.row(cells);
+        }
+    }
+    render(title, ctx, &t)
+}
+
+/// E2 — multi-threaded scalability under the uniform distribution.
+pub fn e02(ctx: &ExpCtx) -> String {
+    scalability(
+        ctx,
+        &[OpKind::Lookup, OpKind::Insert, OpKind::Update, OpKind::Scan],
+        Distribution::Uniform,
+        "E2: scalability, uniform distribution (Mops/s)",
+    )
+}
+
+/// E3 — multi-threaded scalability under self-similar 80/20 skew.
+pub fn e03(ctx: &ExpCtx) -> String {
+    scalability(
+        ctx,
+        &[OpKind::Lookup, OpKind::Update, OpKind::Scan],
+        Distribution::self_similar_80_20(),
+        "E3: scalability, self-similar 80/20 skew (Mops/s)",
+    )
+}
+
+/// E4 — mixed lookup/insert workloads across thread counts.
+pub fn e04(ctx: &ExpCtx) -> String {
+    let ladder = ctx.thread_ladder();
+    let mut header = vec!["index".to_string(), "mix".to_string()];
+    header.extend(ladder.iter().map(|t| format!("{t}t")));
+    let mut t = Table::new(header);
+    for kind in ALL_KINDS {
+        for lookup_pct in [90u8, 50, 10] {
+            let mut cells = vec![
+                kind.to_string(),
+                format!("{lookup_pct}r/{}w", 100 - lookup_pct),
+            ];
+            for &threads in &ladder {
+                let (b, ks) = fresh(kind, ctx, pm_cfg()); // inserts grow: rebuild per point
+                let cfg = ctx.point(
+                    threads,
+                    OpMix::read_insert(lookup_pct),
+                    Distribution::Uniform,
+                );
+                let r = run_point(&b, &ks, &cfg);
+                cells.push(fmt_mops(r.mops()));
+            }
+            t.row(cells);
+        }
+    }
+    render(
+        "E4: mixed lookup/insert workloads (Mops/s, uniform)",
+        ctx,
+        &t,
+    )
+}
+
+/// E5 — tail latency percentiles.
+pub fn e05(ctx: &ExpCtx) -> String {
+    let mut t = Table::new(vec![
+        "index", "op", "threads", "p50", "p90", "p99", "p99.9", "p99.99", "max",
+    ]);
+    for kind in ALL_KINDS {
+        let (b, ks) = fresh(kind, ctx, pm_cfg());
+        for threads in [1usize, ctx.mid_threads()] {
+            for op in [OpKind::Lookup, OpKind::Insert, OpKind::Scan] {
+                let mut cfg = ctx.point(threads, OpMix::pure(op), Distribution::Uniform);
+                cfg.latency_sample_shift = 3; // ~12.5% sampling, as in the paper's 10%
+                let r = run_point(&b, &ks, &cfg);
+                let h = &r.latency[op as usize];
+                t.row(vec![
+                    kind.to_string(),
+                    op.label().to_string(),
+                    threads.to_string(),
+                    fmt_ns(h.percentile(50.0)),
+                    fmt_ns(h.percentile(90.0)),
+                    fmt_ns(h.percentile(99.0)),
+                    fmt_ns(h.percentile(99.9)),
+                    fmt_ns(h.percentile(99.99)),
+                    fmt_ns(h.max()),
+                ]);
+            }
+        }
+    }
+    render("E5: tail latency (uniform)", ctx, &t)
+}
+
+/// E6 — PM traffic per operation (read/write amplification).
+pub fn e06(ctx: &ExpCtx) -> String {
+    let mut t = Table::new(vec![
+        "index",
+        "op",
+        "readB/op",
+        "writeB/op",
+        "read-amp",
+        "write-amp",
+        "clwb/op",
+        "fence/op",
+    ]);
+    for kind in PM_KINDS {
+        let (b, ks) = fresh(kind, ctx, pm_cfg());
+        for op in [OpKind::Lookup, OpKind::Insert, OpKind::Scan] {
+            let cfg = ctx.point(ctx.mid_threads(), OpMix::pure(op), Distribution::Uniform);
+            let r = run_point(&b, &ks, &cfg);
+            let n = r.total_ops().max(1);
+            t.row(vec![
+                kind.to_string(),
+                op.label().to_string(),
+                format!("{:.0}", r.pm_read_bytes_per_op()),
+                format!("{:.0}", r.pm_write_bytes_per_op()),
+                format!("{:.2}", r.pm.read_amplification()),
+                format!("{:.2}", r.pm.write_amplification()),
+                format!("{:.2}", r.pm.clwb as f64 / n as f64),
+                format!("{:.2}", r.pm.fence as f64 / n as f64),
+            ]);
+        }
+    }
+    render(
+        "E6: PM media traffic per operation (mid thread count)",
+        ctx,
+        &t,
+    )
+}
+
+/// E7 — PM bandwidth consumption.
+pub fn e07(ctx: &ExpCtx) -> String {
+    let mut t = Table::new(vec!["index", "op", "readGiB/s", "writeGiB/s", "Mops/s"]);
+    for kind in PM_KINDS {
+        let (b, ks) = fresh(kind, ctx, pm_cfg());
+        for op in [OpKind::Lookup, OpKind::Insert, OpKind::Scan] {
+            let cfg = ctx.point(ctx.mid_threads(), OpMix::pure(op), Distribution::Uniform);
+            let r = run_point(&b, &ks, &cfg);
+            t.row(vec![
+                kind.to_string(),
+                op.label().to_string(),
+                format!("{:.3}", r.pm_read_gibps()),
+                format!("{:.3}", r.pm_write_gibps()),
+                fmt_mops(r.mops()),
+            ]);
+        }
+    }
+    render("E7: PM bandwidth during each workload", ctx, &t)
+}
+
+/// E8 — memory consumption after loading (the paper's space table).
+pub fn e08(ctx: &ExpCtx) -> String {
+    let mut t = Table::new(vec![
+        "index",
+        "PM",
+        "DRAM",
+        "PM B/rec",
+        "raw data",
+        "bound chunks",
+    ]);
+    let raw = ctx.records * 16;
+    for kind in ALL_KINDS {
+        let (b, _ks) = fresh(kind, ctx, pm_cfg());
+        let f = b.index.footprint();
+        let chunks = b
+            .alloc
+            .as_ref()
+            .map(|a| a.stats().bound_chunks.to_string())
+            .unwrap_or_else(|| "-".into());
+        t.row(vec![
+            kind.to_string(),
+            fmt_bytes(f.pm_bytes),
+            fmt_bytes(f.dram_bytes),
+            format!("{:.1}", f.pm_bytes as f64 / ctx.records as f64),
+            fmt_bytes(raw),
+            chunks,
+        ]);
+    }
+    render("E8: memory consumption after prefill", ctx, &t)
+}
+
+/// E9 — fingerprinting ablation (FPTree ± fingerprints, positive and
+/// negative lookups).
+pub fn e09(ctx: &ExpCtx) -> String {
+    let mut t = Table::new(vec!["variant", "lookups", "threads", "Mops/s", "readB/op"]);
+    for variant in ["fptree", "fptree-nofp"] {
+        let b = registry::build(variant, ctx.records, pm_cfg());
+        let ks = KeySpace::new(ctx.records);
+        prefill(&*b.index, &ks, ctx.max_threads);
+        for negative in [false, true] {
+            for threads in [1usize, ctx.mid_threads()] {
+                let mut cfg =
+                    ctx.point(threads, OpMix::pure(OpKind::Lookup), Distribution::Uniform);
+                cfg.negative_lookups = negative;
+                let r = run_point(&b, &ks, &cfg);
+                t.row(vec![
+                    variant.to_string(),
+                    if negative { "negative" } else { "positive" }.to_string(),
+                    threads.to_string(),
+                    fmt_mops(r.mops()),
+                    format!("{:.0}", r.pm_read_bytes_per_op()),
+                ]);
+            }
+        }
+    }
+    render("E9: fingerprinting ablation (FPTree)", ctx, &t)
+}
+
+/// E10 — allocator impact on insert throughput (general vs. striped
+/// magazines).
+pub fn e10(ctx: &ExpCtx) -> String {
+    let ladder = ctx.thread_ladder();
+    let mut header = vec!["index".to_string(), "allocator".to_string()];
+    header.extend(ladder.iter().map(|t| format!("{t}t")));
+    let mut t = Table::new(header);
+    for kind in ["fptree", "bztree"] {
+        for (mode, label) in [
+            (pmalloc::AllocMode::General, "general"),
+            (pmalloc::AllocMode::Striped, "striped"),
+        ] {
+            let mut cells = vec![kind.to_string(), label.to_string()];
+            for &threads in &ladder {
+                let b = registry::build_with_mode(kind, ctx.records, pm_cfg(), mode);
+                let ks = KeySpace::new(ctx.records);
+                prefill(&*b.index, &ks, ctx.max_threads);
+                let cfg = ctx.point(threads, OpMix::pure(OpKind::Insert), Distribution::Uniform);
+                let r = run_point(&b, &ks, &cfg);
+                cells.push(fmt_mops(r.mops()));
+            }
+            t.row(cells);
+        }
+    }
+    render(
+        "E10: PM allocator ablation, insert throughput (Mops/s)",
+        ctx,
+        &t,
+    )
+}
+
+/// E11 — recovery time vs. data size.
+pub fn e11(ctx: &ExpCtx) -> String {
+    let mut t = Table::new(vec!["index", "records", "recovery", "ms/Mrec"]);
+    for kind in PM_KINDS {
+        for frac in [4u64, 2, 1] {
+            let records = (ctx.records / frac).max(1);
+            let b = registry::build(kind, records, pm_cfg());
+            let ks = KeySpace::new(records);
+            prefill(&*b.index, &ks, ctx.max_threads);
+            let pool: Arc<PmPool> = b.pool.clone().expect("pm index has a pool");
+            drop(b);
+            pool.crash();
+            let (b2, took) = registry::recover(kind, pool);
+            // Sanity: a few keys must be present after recovery.
+            for i in (0..records).step_by((records / 7 + 1) as usize) {
+                assert_eq!(
+                    b2.index.lookup(ks.key(i)),
+                    Some(ks.value_for(ks.key(i))),
+                    "{kind} lost key {i} across recovery"
+                );
+            }
+            t.row(vec![
+                kind.to_string(),
+                records.to_string(),
+                format!("{:.2}ms", took.as_secs_f64() * 1e3),
+                format!("{:.2}", took.as_secs_f64() * 1e3 / (records as f64 / 1e6)),
+            ]);
+        }
+    }
+    render("E11: restart/recovery time vs data size", ctx, &t)
+}
+
+/// E12 — node-size sensitivity.
+pub fn e12(ctx: &ExpCtx) -> String {
+    let mut t = Table::new(vec!["index", "entries", "lookup", "insert", "scan"]);
+    let sweeps: [(&str, &[usize]); 4] = [
+        ("fptree", &[16, 32, 64]),
+        ("nvtree", &[32, 64, 128]),
+        ("wbtree", &[15, 31, 62]),
+        ("bztree", &[30, 62, 124]),
+    ];
+    for (kind, sizes) in sweeps {
+        for &entries in sizes {
+            let b = registry::build_with_node_size(kind, ctx.records, pm_cfg(), entries);
+            let ks = KeySpace::new(ctx.records);
+            prefill(&*b.index, &ks, ctx.max_threads);
+            let mut cells = vec![kind.to_string(), entries.to_string()];
+            for op in [OpKind::Lookup, OpKind::Insert, OpKind::Scan] {
+                let cfg = ctx.point(1, OpMix::pure(op), Distribution::Uniform);
+                let r = run_point(&b, &ks, &cfg);
+                cells.push(fmt_mops(r.mops()));
+            }
+            t.row(cells);
+        }
+    }
+    render(
+        "E12: node-size sensitivity (single thread, Mops/s)",
+        ctx,
+        &t,
+    )
+}
+
+/// E13 — PM indexes on DRAM (persistence elided) vs. the volatile
+/// baseline.
+pub fn e13(ctx: &ExpCtx) -> String {
+    let ladder = ctx.thread_ladder();
+    let mut header = vec!["index".to_string(), "op".to_string()];
+    header.extend(ladder.iter().map(|t| format!("{t}t")));
+    let mut t = Table::new(header);
+    let kinds = ["fptree", "nvtree", "wbtree", "bztree", "dram"];
+    for kind in kinds {
+        for op in [OpKind::Lookup, OpKind::Insert, OpKind::Scan] {
+            let mutating = op == OpKind::Insert;
+            let mut cells = vec![
+                if kind == "dram" {
+                    "dram-btree".to_string()
+                } else {
+                    format!("{kind}@dram")
+                },
+                op.label().to_string(),
+            ];
+            let reuse: Option<(Built, KeySpace)> = if mutating {
+                None
+            } else {
+                Some(fresh(kind, ctx, PmConfig::dram()))
+            };
+            for &threads in &ladder {
+                let pair;
+                let (b, ks) = match &reuse {
+                    Some(p) => p,
+                    None => {
+                        pair = fresh(kind, ctx, PmConfig::dram());
+                        &pair
+                    }
+                };
+                let cfg = ctx.point(threads, OpMix::pure(op), Distribution::Uniform);
+                let r = run_point(b, ks, &cfg);
+                cells.push(fmt_mops(r.mops()));
+            }
+            t.row(cells);
+        }
+    }
+    render(
+        "E13: PM indexes with persistence elided (DRAM) vs volatile baseline (Mops/s)",
+        ctx,
+        &t,
+    )
+}
+
+/// An experiment entry point.
+pub type ExpFn = fn(&ExpCtx) -> String;
+
+/// E14 — variable-length key support: inline vs pointer-stored keys
+/// (same 8-byte keys forced through the out-of-line path, as in the
+/// paper's var-key methodology).
+pub fn e14(ctx: &ExpCtx) -> String {
+    let mut t = Table::new(vec!["variant", "op", "Mops/s", "readB/op"]);
+    for variant in ["fptree", "fptree-varkey"] {
+        let b = registry::build(variant, ctx.records, pm_cfg());
+        let ks = KeySpace::new(ctx.records);
+        prefill(&*b.index, &ks, ctx.max_threads);
+        for op in [OpKind::Lookup, OpKind::Insert, OpKind::Scan] {
+            let cfg = ctx.point(1, OpMix::pure(op), Distribution::Uniform);
+            let r = run_point(&b, &ks, &cfg);
+            t.row(vec![
+                variant.to_string(),
+                op.label().to_string(),
+                fmt_mops(r.mops()),
+                format!("{:.0}", r.pm_read_bytes_per_op()),
+            ]);
+        }
+    }
+    render(
+        "E14: variable-length key support (inline vs pointer, 1 thread)",
+        ctx,
+        &t,
+    )
+}
+
+/// E15 — wB+Tree slot-array ablation: slot+bitmap (binary search, more
+/// fences) vs bitmap-only (linear search, fewer fences).
+pub fn e15(ctx: &ExpCtx) -> String {
+    let mut t = Table::new(vec!["variant", "op", "Mops/s", "fence/op", "clwb/op"]);
+    for variant in ["wbtree", "wbtree-noslots"] {
+        let b = registry::build(variant, ctx.records, pm_cfg());
+        let ks = KeySpace::new(ctx.records);
+        prefill(&*b.index, &ks, ctx.max_threads);
+        for op in [OpKind::Lookup, OpKind::Insert] {
+            let cfg = ctx.point(1, OpMix::pure(op), Distribution::Uniform);
+            let r = run_point(&b, &ks, &cfg);
+            let n = r.total_ops().max(1);
+            t.row(vec![
+                variant.to_string(),
+                op.label().to_string(),
+                fmt_mops(r.mops()),
+                format!("{:.2}", r.pm.fence as f64 / n as f64),
+                format!("{:.2}", r.pm.clwb as f64 / n as f64),
+            ]);
+        }
+    }
+    render("E15: wB+Tree slot-array ablation (1 thread)", ctx, &t)
+}
+
+/// All experiments in order, with ids and titles (for `e00_run_all`).
+pub fn all() -> Vec<(&'static str, ExpFn)> {
+    vec![
+        ("e01", e01 as ExpFn),
+        ("e02", e02),
+        ("e03", e03),
+        ("e04", e04),
+        ("e05", e05),
+        ("e06", e06),
+        ("e07", e07),
+        ("e08", e08),
+        ("e09", e09),
+        ("e10", e10),
+        ("e11", e11),
+        ("e12", e12),
+        ("e13", e13),
+        ("e14", e14),
+        ("e15", e15),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpCtx {
+        ExpCtx {
+            records: 3_000,
+            ops_per_point: 2_000,
+            max_threads: 2,
+            csv: true,
+        }
+    }
+
+    #[test]
+    fn e01_smoke() {
+        let out = e01(&tiny());
+        assert!(out.contains("E1"));
+        for kind in ALL_KINDS {
+            assert!(out.contains(kind), "{kind} missing:\n{out}");
+        }
+        assert!(out.contains("[csv]"));
+    }
+
+    #[test]
+    fn e08_reports_footprints() {
+        let out = e08(&tiny());
+        assert!(out.contains("PM"));
+        assert!(out.contains("dram"));
+    }
+
+    #[test]
+    fn e11_recovers_all_kinds() {
+        let out = e11(&tiny());
+        for kind in PM_KINDS {
+            assert!(out.contains(kind));
+        }
+        assert!(out.contains("ms"));
+    }
+}

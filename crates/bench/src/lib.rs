@@ -1,0 +1,23 @@
+//! # bench — the experiment harness
+//!
+//! One bench target per table/figure of the evaluation (see DESIGN.md's
+//! experiment index E1–E15). Each experiment is a function in [`exp`]
+//! that builds fresh indexes on their own emulated PM pools, drives
+//! them with PiBench workloads, and prints the same rows/series the
+//! paper's artifact reports.
+//!
+//! Scale is controlled by environment variables so `cargo bench` works
+//! out of the box at laptop scale and can be dialed up toward the
+//! paper's 100 M-record runs:
+//!
+//! | Variable | Default | Meaning |
+//! |---|---|---|
+//! | `PIBENCH_RECORDS` | 300 000 | records prefilled per index |
+//! | `PIBENCH_OPS` | = records | operations per data point |
+//! | `PIBENCH_THREADS` | min(8, cores) | max worker threads |
+//! | `PIBENCH_QUICK` | unset | `1` shrinks records/ops 10× |
+//! | `PIBENCH_CSV` | unset | `1` appends CSV blocks to reports |
+
+pub mod cli;
+pub mod exp;
+pub mod registry;

@@ -1,0 +1,199 @@
+//! Index construction for the experiments.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bztree::{BzTree, BzTreeConfig};
+use dram_index::DramTree;
+use fptree::{FpTree, FpTreeConfig, KeyMode};
+use index_api::RangeIndex;
+use nvtree::{NvTree, NvTreeConfig};
+use pmalloc::{AllocMode, PmAllocator};
+use pmem::{PmConfig, PmPool};
+use wbtree::{WbTree, WbTreeConfig};
+
+/// The four evaluated PM indexes.
+pub const PM_KINDS: [&str; 4] = ["fptree", "nvtree", "wbtree", "bztree"];
+/// PM indexes plus the volatile baseline.
+pub const ALL_KINDS: [&str; 5] = ["fptree", "nvtree", "wbtree", "bztree", "dram"];
+
+/// A constructed index with its (optional) backing pool/allocator.
+pub struct Built {
+    /// The index under test.
+    pub index: Arc<dyn RangeIndex>,
+    /// Its emulated PM pool (None for the DRAM baseline).
+    pub pool: Option<Arc<PmPool>>,
+    /// Its allocator (None for the DRAM baseline).
+    pub alloc: Option<Arc<PmAllocator>>,
+}
+
+/// Pool capacity heuristic: generous per-record budget (nodes are
+/// half-full on average, BzTree keeps version chains until
+/// consolidation) plus fixed headroom.
+pub fn pool_bytes(records: u64) -> usize {
+    (records as usize) * 320 + (64 << 20)
+}
+
+/// Build a fresh index of `kind` sized for `records`, on a pool with
+/// the given device config. PM indexes default to the PMDK-like
+/// general allocator; see [`build_with_mode`] for the ablation.
+pub fn build(kind: &str, records: u64, pm: PmConfig) -> Built {
+    build_with_mode(kind, records, pm, AllocMode::General)
+}
+
+/// Like [`build`], with an explicit allocation mode (E10).
+pub fn build_with_mode(kind: &str, records: u64, pm: PmConfig, mode: AllocMode) -> Built {
+    if kind == "dram" {
+        return Built {
+            index: Arc::new(DramTree::new()),
+            pool: None,
+            alloc: None,
+        };
+    }
+    let pool = Arc::new(PmPool::new(pool_bytes(records), pm));
+    let alloc = PmAllocator::format(pool.clone(), mode);
+    let index: Arc<dyn RangeIndex> = match kind {
+        "fptree" => FpTree::create(alloc.clone(), FpTreeConfig::default()),
+        "fptree-nofp" => FpTree::create(
+            alloc.clone(),
+            FpTreeConfig {
+                use_fingerprints: false,
+                ..FpTreeConfig::default()
+            },
+        ),
+        "fptree-varkey" => FpTree::create(
+            alloc.clone(),
+            FpTreeConfig {
+                key_mode: KeyMode::Pointer,
+                ..FpTreeConfig::default()
+            },
+        ),
+        "nvtree" => NvTree::create(alloc.clone(), NvTreeConfig::default()),
+        "wbtree" => WbTree::create(alloc.clone(), WbTreeConfig::default()),
+        "wbtree-noslots" => WbTree::create(
+            alloc.clone(),
+            WbTreeConfig {
+                use_slot_array: false,
+                ..WbTreeConfig::default()
+            },
+        ),
+        "bztree" => BzTree::create(alloc.clone(), BzTreeConfig::default()),
+        other => panic!("unknown index kind {other:?}"),
+    };
+    Built {
+        index,
+        pool: Some(pool),
+        alloc: Some(alloc),
+    }
+}
+
+/// Build with a custom node size (E12). `entries` is the leaf/node
+/// record count; each index clamps to its own legal range.
+pub fn build_with_node_size(kind: &str, records: u64, pm: PmConfig, entries: usize) -> Built {
+    let pool = Arc::new(PmPool::new(pool_bytes(records), pm));
+    let alloc = PmAllocator::format(pool.clone(), AllocMode::General);
+    let index: Arc<dyn RangeIndex> = match kind {
+        "fptree" => FpTree::create(
+            alloc.clone(),
+            FpTreeConfig {
+                leaf_entries: entries.min(64),
+                ..FpTreeConfig::default()
+            },
+        ),
+        "nvtree" => NvTree::create(
+            alloc.clone(),
+            NvTreeConfig {
+                leaf_entries: entries,
+                ..NvTreeConfig::default()
+            },
+        ),
+        "wbtree" => WbTree::create(
+            alloc.clone(),
+            WbTreeConfig {
+                node_entries: entries.min(62),
+                ..WbTreeConfig::default()
+            },
+        ),
+        "bztree" => BzTree::create(
+            alloc.clone(),
+            BzTreeConfig {
+                node_entries: entries,
+                ..BzTreeConfig::default()
+            },
+        ),
+        other => panic!("unknown index kind {other:?}"),
+    };
+    Built {
+        index,
+        pool: Some(pool),
+        alloc: Some(alloc),
+    }
+}
+
+/// Reopen a crashed pool as `kind`, timing the full restart path
+/// (allocator recovery + index recovery, including any DRAM rebuild).
+pub fn recover(kind: &str, pool: Arc<PmPool>) -> (Built, Duration) {
+    let t0 = Instant::now();
+    let alloc = PmAllocator::recover(pool.clone(), AllocMode::General);
+    let index: Arc<dyn RangeIndex> = match kind {
+        "fptree" => FpTree::recover(alloc.clone(), FpTreeConfig::default()),
+        "nvtree" => NvTree::recover(alloc.clone(), NvTreeConfig::default()),
+        "wbtree" => WbTree::recover(alloc.clone(), WbTreeConfig::default()),
+        "bztree" => BzTree::recover(alloc.clone(), BzTreeConfig::default()),
+        other => panic!("unknown index kind {other:?}"),
+    };
+    let elapsed = t0.elapsed();
+    (
+        Built {
+            index,
+            pool: Some(pool),
+            alloc: Some(alloc),
+        },
+        elapsed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds_and_serves() {
+        for kind in ALL_KINDS {
+            let b = build(kind, 10_000, PmConfig::real());
+            assert!(b.index.insert(42, 1), "{kind}");
+            assert_eq!(b.index.lookup(42), Some(1), "{kind}");
+            assert_eq!(b.pool.is_some(), kind != "dram");
+        }
+    }
+
+    #[test]
+    fn recovery_roundtrip_for_all_pm_kinds() {
+        for kind in PM_KINDS {
+            let b = build(kind, 10_000, PmConfig::real());
+            for k in 0..500u64 {
+                b.index.insert(k, k + 1);
+            }
+            let pool = b.pool.clone().unwrap();
+            drop(b);
+            pool.crash();
+            let (b2, took) = recover(kind, pool);
+            for k in 0..500u64 {
+                assert_eq!(b2.index.lookup(k), Some(k + 1), "{kind} key {k}");
+            }
+            assert!(took.as_nanos() > 0);
+        }
+    }
+
+    #[test]
+    fn node_size_variants_build() {
+        for kind in PM_KINDS {
+            let b = build_with_node_size(kind, 1_000, PmConfig::real(), 16);
+            for k in 0..200u64 {
+                assert!(b.index.insert(k, k), "{kind}");
+            }
+            let mut out = Vec::new();
+            assert_eq!(b.index.scan(0, 200, &mut out), 200, "{kind}");
+        }
+    }
+}

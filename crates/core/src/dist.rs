@@ -1,0 +1,193 @@
+//! Access distributions over logical key indexes.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Which logical index the next point operation targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Distribution {
+    /// Every index equally likely.
+    Uniform,
+    /// Self-similar (Gray et al., SIGMOD '94): a fraction `h` of
+    /// accesses hits a fraction `h` of the key space, recursively.
+    /// `h = 0.2` gives the paper's "80% of accesses on 20% of keys".
+    SelfSimilar {
+        /// Skew parameter in (0, 0.5).
+        skew: f64,
+    },
+    /// Zipfian with parameter `theta` (YCSB-style).
+    Zipfian {
+        /// Skew parameter in (0, 1).
+        theta: f64,
+    },
+}
+
+impl Distribution {
+    /// The paper's default skewed workload.
+    pub fn self_similar_80_20() -> Distribution {
+        Distribution::SelfSimilar { skew: 0.2 }
+    }
+
+    /// Build a sampler for indexes in `[0, n)`.
+    pub fn sampler(&self, n: u64) -> Sampler {
+        assert!(n > 0);
+        match *self {
+            Distribution::Uniform => Sampler::Uniform { n },
+            Distribution::SelfSimilar { skew } => {
+                assert!(skew > 0.0 && skew < 0.5, "skew must be in (0, 0.5)");
+                Sampler::SelfSimilar {
+                    n,
+                    exp: skew.ln() / (1.0 - skew).ln(),
+                }
+            }
+            Distribution::Zipfian { theta } => {
+                assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1)");
+                // YCSB's rejection-free Zipfian generator.
+                let zetan = zeta(n, theta);
+                let zeta2 = zeta(2, theta);
+                Sampler::Zipfian {
+                    n,
+                    theta,
+                    zetan,
+                    alpha: 1.0 / (1.0 - theta),
+                    eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+                }
+            }
+        }
+    }
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Direct sum; cached per sampler. For very large n this is the
+    // dominant setup cost, so benchmarks construct samplers once.
+    let mut sum = 0.0;
+    for i in 1..=n {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    sum
+}
+
+/// A concrete sampler (one per thread; cheap to copy).
+#[derive(Debug, Clone, Copy)]
+pub enum Sampler {
+    /// See [`Distribution::Uniform`].
+    Uniform {
+        /// Key-space size.
+        n: u64,
+    },
+    /// See [`Distribution::SelfSimilar`].
+    SelfSimilar {
+        /// Key-space size.
+        n: u64,
+        /// Precomputed exponent `ln(h) / ln(1-h)`.
+        exp: f64,
+    },
+    /// See [`Distribution::Zipfian`].
+    Zipfian {
+        /// Key-space size.
+        n: u64,
+        /// Skew.
+        theta: f64,
+        /// `zeta(n, theta)`.
+        zetan: f64,
+        /// `1 / (1 - theta)`.
+        alpha: f64,
+        /// YCSB eta constant.
+        eta: f64,
+    },
+}
+
+impl Sampler {
+    /// Draw a logical index in `[0, n)`.
+    #[inline]
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        match *self {
+            Sampler::Uniform { n } => rng.gen_range(0..n),
+            Sampler::SelfSimilar { n, exp } => {
+                let u: f64 = rng.gen();
+                let v = (n as f64 * u.powf(exp)) as u64;
+                v.min(n - 1)
+            }
+            Sampler::Zipfian {
+                n,
+                theta,
+                zetan,
+                alpha,
+                eta,
+            } => {
+                let u: f64 = rng.gen();
+                let uz = u * zetan;
+                if uz < 1.0 {
+                    return 0;
+                }
+                if uz < 1.0 + 0.5f64.powf(theta) {
+                    return 1;
+                }
+                let v = (n as f64 * (eta * u - eta + 1.0).powf(alpha)) as u64;
+                v.min(n - 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn hits(dist: Distribution, n: u64, draws: usize) -> Vec<u64> {
+        let s = dist.sampler(n);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..draws {
+            counts[s.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_is_roughly_flat() {
+        let counts = hits(Distribution::Uniform, 100, 100_000);
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*min > 700 && *max < 1_300, "min={min} max={max}");
+    }
+
+    #[test]
+    fn self_similar_is_80_20() {
+        let n = 10_000u64;
+        let counts = hits(Distribution::self_similar_80_20(), n, 200_000);
+        let hot: u64 = counts[..(n as usize / 5)].iter().sum();
+        let total: u64 = counts.iter().sum();
+        let frac = hot as f64 / total as f64;
+        assert!(
+            (0.75..=0.85).contains(&frac),
+            "hot fraction {frac} should be ~0.8"
+        );
+    }
+
+    #[test]
+    fn zipfian_head_is_heavy() {
+        let n = 10_000u64;
+        let counts = hits(Distribution::Zipfian { theta: 0.99 }, n, 200_000);
+        let total: u64 = counts.iter().sum();
+        // Rank 0 alone takes a sizeable share under theta=0.99.
+        assert!(counts[0] as f64 / total as f64 > 0.05);
+        // And all samples are in range (implicitly: no panic).
+        assert_eq!(total, 200_000);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        for dist in [
+            Distribution::Uniform,
+            Distribution::self_similar_80_20(),
+            Distribution::Zipfian { theta: 0.5 },
+        ] {
+            let s = dist.sampler(7);
+            let mut rng = SmallRng::seed_from_u64(1);
+            for _ in 0..10_000 {
+                assert!(s.sample(&mut rng) < 7);
+            }
+        }
+    }
+}

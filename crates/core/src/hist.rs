@@ -1,0 +1,212 @@
+//! Mergeable log-scale latency histograms.
+//!
+//! Tail-latency reporting needs percentiles up to p99.99 from millions
+//! of samples without unbounded memory. Buckets grow geometrically
+//! (4 sub-buckets per power of two ⇒ ≤ ~19% relative error), which is
+//! plenty to reproduce the *shape* of the paper's latency figures.
+
+/// Sub-buckets per power of two.
+const SUBS: usize = 4;
+/// Total buckets: 64 exponents × 4 sub-buckets.
+const BUCKETS: usize = 64 * SUBS;
+
+/// A fixed-size log-scale histogram of `u64` samples (nanoseconds).
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros() as usize;
+    let sub = ((v >> (exp - 2)) & 3) as usize;
+    exp * SUBS + sub
+}
+
+/// Lower bound of bucket `b` (inverse of [`bucket_of`]).
+#[inline]
+fn bucket_floor(b: usize) -> u64 {
+    let exp = b / SUBS;
+    let sub = (b % SUBS) as u64;
+    if exp == 0 {
+        return sub;
+    }
+    (1u64 << exp) | (sub << (exp - 2))
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: Box::new([0; BUCKETS]),
+            total: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.total += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Largest recorded sample (exact).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Value at percentile `p` in `[0, 100]` (bucket lower bound; the
+    /// max is exact for `p = 100`).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        if p >= 100.0 {
+            return self.max;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_floor(b);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of bucket lower bounds (approximate average latency).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(b, &c)| c as f64 * bucket_floor(b) as f64)
+            .sum();
+        sum / self.total as f64
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LatencyHistogram {{ n: {}, p50: {}, p99: {}, max: {} }}",
+            self.total,
+            self.percentile(50.0),
+            self.percentile(99.0),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_invertible() {
+        let mut last = 0;
+        for v in [0u64, 1, 2, 3, 4, 5, 7, 8, 100, 1000, 1 << 20, u64::MAX / 2] {
+            let b = bucket_of(v);
+            assert!(b >= last, "bucket order violated at {v}");
+            last = b;
+            assert!(bucket_floor(b) <= v, "floor({b}) > {v}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in (4u64..1_000_000).step_by(37) {
+            let floor = bucket_floor(bucket_of(v));
+            assert!(floor <= v);
+            assert!(
+                (v - floor) as f64 / v as f64 <= 0.25,
+                "error too large at {v}: floor={floor}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 100); // 100ns .. 1ms
+        }
+        assert_eq!(h.len(), 10_000);
+        let p50 = h.percentile(50.0);
+        assert!((400_000..=600_000).contains(&p50), "p50={p50}");
+        let p99 = h.percentile(99.0);
+        assert!((900_000..=1_000_000).contains(&p99), "p99={p99}");
+        assert_eq!(h.percentile(100.0), 1_000_000);
+    }
+
+    #[test]
+    fn merge_combines_totals() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in 0..100 {
+            a.record(v);
+            b.record(v + 1_000_000);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), 200);
+        assert!(a.percentile(25.0) < 1_000);
+        assert!(a.percentile(75.0) >= 1_000_000 * 3 / 4);
+        assert_eq!(a.max(), 1_000_099);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX / 2);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.percentile(100.0), u64::MAX);
+        assert!(h.percentile(1.0) <= h.percentile(99.0));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

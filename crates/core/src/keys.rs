@@ -1,0 +1,125 @@
+//! Key-space management.
+//!
+//! Benchmarks address a *logical* dense key space `0..n` (easy to
+//! enumerate, easy to partition across threads) but indexes should see
+//! keys spread over the whole `u64` range, like the paper's random
+//! 8-byte integer keys. A bijective mixer (a finalizer-style hash with
+//! an exact inverse) maps between the two, so:
+//!
+//! * prefill can insert exactly the keys `mix(0) .. mix(n-1)`,
+//! * the workload can draw a logical index from any distribution and
+//!   address the corresponding existing key,
+//! * inserts during measurement extend the space at `mix(n + seq)`
+//!   without ever colliding with an existing key.
+
+/// SplitMix64 finalizer: a bijection on `u64`.
+#[inline]
+pub fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Inverse of [`mix`] (for debugging and tests).
+#[inline]
+pub fn unmix(z: u64) -> u64 {
+    // Invert each step of mix(): xorshifts and odd-constant multiplies
+    // are both invertible.
+    let mut x = z;
+    x ^= x >> 31 ^ x >> 62;
+    x = x.wrapping_mul(0x319642B2_D24D8EC3);
+    x ^= x >> 27 ^ x >> 54;
+    x = x.wrapping_mul(0x96DE1B17_3F119089);
+    x ^= x >> 30 ^ x >> 60;
+    x.wrapping_sub(0x9E37_79B9_7F4A_7C15)
+}
+
+/// A logical key space of `n` prefilled keys plus an insert frontier.
+#[derive(Debug)]
+pub struct KeySpace {
+    prefilled: u64,
+    frontier: std::sync::atomic::AtomicU64,
+}
+
+impl KeySpace {
+    /// Key space with `n` prefilled records.
+    pub fn new(n: u64) -> KeySpace {
+        KeySpace {
+            prefilled: n,
+            frontier: std::sync::atomic::AtomicU64::new(n),
+        }
+    }
+
+    /// Number of prefilled records.
+    pub fn prefilled(&self) -> u64 {
+        self.prefilled
+    }
+
+    /// The physical key of logical index `i`.
+    #[inline]
+    pub fn key(&self, i: u64) -> u64 {
+        mix(i)
+    }
+
+    /// The value stored for a key (derived, so reads can be verified).
+    #[inline]
+    pub fn value_for(&self, key: u64) -> u64 {
+        key.wrapping_mul(0x5851_F42D_4C95_7F2D) | 1
+    }
+
+    /// Claim a fresh, never-used key for an insert operation.
+    #[inline]
+    pub fn next_insert_key(&self) -> u64 {
+        let i = self
+            .frontier
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        mix(i)
+    }
+
+    /// A key guaranteed absent from the index (negative-lookup
+    /// workloads): drawn from the upper half of the logical space,
+    /// unreachable by any realistic insert frontier.
+    #[inline]
+    pub fn negative_key(&self, i: u64) -> u64 {
+        mix((1u64 << 63) | i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_bijective_on_sample() {
+        for i in (0..1_000_000u64).step_by(997) {
+            assert_eq!(unmix(mix(i)), i);
+        }
+        assert_eq!(unmix(mix(u64::MAX)), u64::MAX);
+    }
+
+    #[test]
+    fn mixed_keys_are_distinct() {
+        let mut keys: Vec<u64> = (0..100_000).map(mix).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 100_000);
+    }
+
+    #[test]
+    fn insert_frontier_never_collides() {
+        let ks = KeySpace::new(1000);
+        let mut seen: std::collections::HashSet<u64> = (0..1000).map(|i| ks.key(i)).collect();
+        for _ in 0..1000 {
+            assert!(seen.insert(ks.next_insert_key()), "frontier collision");
+        }
+    }
+
+    #[test]
+    fn values_are_nonzero() {
+        let ks = KeySpace::new(10);
+        for i in 0..10 {
+            assert_ne!(ks.value_for(ks.key(i)), 0);
+        }
+    }
+}

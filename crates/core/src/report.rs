@@ -1,0 +1,157 @@
+//! Plain-text and CSV reporting: the series the paper's figures plot.
+
+use std::fmt::Write as _;
+
+/// A simple aligned table builder.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:>width$}", c, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format an ops/s figure the way the paper's axes do (Mops/s).
+pub fn fmt_mops(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format nanoseconds human-readably.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 10_000 {
+        format!("{ns}ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    }
+}
+
+/// Format a byte count with binary units.
+pub fn fmt_bytes(b: u64) -> String {
+    if b < 1024 {
+        format!("{b}B")
+    } else if b < 1024 * 1024 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else if b < 1024 * 1024 * 1024 {
+        format!("{:.2}MiB", b as f64 / (1 << 20) as f64)
+    } else {
+        format!("{:.2}GiB", b as f64 / (1 << 30) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_csv() {
+        let mut t = Table::new(vec!["index", "threads", "mops"]);
+        t.row(vec!["fptree", "1", "1.234"]);
+        t.row(vec!["bztree", "40", "0.567"]);
+        let text = t.to_text();
+        assert!(text.contains("index"));
+        assert!(text.lines().count() == 4);
+        // Columns right-aligned to equal width per column.
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0].len(), lines[2].len());
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().next().unwrap(), "index,threads,mops");
+        assert!(csv.contains("bztree,40,0.567"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["x,y"]);
+        assert!(t.to_csv().contains("\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        Table::new(vec!["a", "b"]).row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ns(500), "500ns");
+        assert_eq!(fmt_ns(50_000), "50.0us");
+        assert_eq!(fmt_ns(50_000_000), "50.0ms");
+        assert_eq!(fmt_bytes(100), "100B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.00MiB");
+        assert_eq!(fmt_bytes(5 << 30), "5.00GiB");
+        assert_eq!(fmt_mops(1.23456), "1.235");
+    }
+}

@@ -1,0 +1,390 @@
+//! The multi-threaded benchmark runner: prefill + measured phase.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use index_api::RangeIndex;
+use pmem::{PmPool, PmStatsSnapshot};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::dist::Distribution;
+use crate::hist::LatencyHistogram;
+use crate::keys::KeySpace;
+use crate::workload::{Op, OpMix, OpStream, OP_KINDS};
+
+/// Benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Records to prefill before measuring.
+    pub records: u64,
+    /// Measured phase length: fixed op count per thread, …
+    pub ops_per_thread: Option<u64>,
+    /// …or a wall-clock duration (exactly one must be set).
+    pub duration: Option<Duration>,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// Access distribution for existing-key operations.
+    pub distribution: Distribution,
+    /// Records per scan.
+    pub scan_len: usize,
+    /// Sample one in `2^latency_sample_shift` operations for latency
+    /// (the paper samples 10%; 3 ⇒ 12.5%).
+    pub latency_sample_shift: u32,
+    /// RNG seed (per-thread streams derive from it).
+    pub seed: u64,
+    /// Lookups target absent keys (fingerprint experiment E9).
+    pub negative_lookups: bool,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            threads: 1,
+            records: 100_000,
+            ops_per_thread: Some(100_000),
+            duration: None,
+            mix: OpMix::pure(crate::OpKind::Lookup),
+            distribution: Distribution::Uniform,
+            scan_len: 100,
+            latency_sample_shift: 3,
+            seed: 0x5EED,
+            negative_lookups: false,
+        }
+    }
+}
+
+/// Result of one measured run.
+pub struct RunResult {
+    /// Wall time of the measured phase.
+    pub elapsed: Duration,
+    /// Completed operations by kind (indexed by `OpKind as usize`).
+    pub ops: [u64; 5],
+    /// Operations whose boolean/option result was "miss" (not an error:
+    /// e.g. removes of absent keys under skew).
+    pub misses: u64,
+    /// Sampled latency histograms by kind.
+    pub latency: [LatencyHistogram; 5],
+    /// PM counter delta over the measured phase (zeros if no pool was
+    /// supplied).
+    pub pm: PmStatsSnapshot,
+}
+
+impl RunResult {
+    /// Total completed operations.
+    pub fn total_ops(&self) -> u64 {
+        self.ops.iter().sum()
+    }
+
+    /// Overall throughput in operations per second.
+    pub fn mops(&self) -> f64 {
+        self.total_ops() as f64 / self.elapsed.as_secs_f64() / 1e6
+    }
+
+    /// PM read bandwidth during the run (GiB/s, media traffic).
+    pub fn pm_read_gibps(&self) -> f64 {
+        self.pm.media_read_bytes as f64 / self.elapsed.as_secs_f64() / (1u64 << 30) as f64
+    }
+
+    /// PM write bandwidth during the run (GiB/s, media traffic).
+    pub fn pm_write_gibps(&self) -> f64 {
+        self.pm.media_write_bytes as f64 / self.elapsed.as_secs_f64() / (1u64 << 30) as f64
+    }
+
+    /// Media bytes read per completed operation.
+    pub fn pm_read_bytes_per_op(&self) -> f64 {
+        self.pm.media_read_bytes as f64 / self.total_ops().max(1) as f64
+    }
+
+    /// Media bytes written per completed operation.
+    pub fn pm_write_bytes_per_op(&self) -> f64 {
+        self.pm.media_write_bytes as f64 / self.total_ops().max(1) as f64
+    }
+}
+
+/// Prefill `records` keys with `threads` workers. Returns the load time.
+pub fn prefill(index: &dyn RangeIndex, keyspace: &KeySpace, threads: usize) -> Duration {
+    let n = keyspace.prefilled();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads as u64 {
+            let index = &index;
+            s.spawn(move || {
+                let mut i = t;
+                while i < n {
+                    let k = keyspace.key(i);
+                    let inserted = index.insert(k, keyspace.value_for(k));
+                    debug_assert!(inserted, "prefill key collision at {i}");
+                    i += threads as u64;
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+/// Run the measured phase described by `cfg` against `index`.
+///
+/// The index must already be prefilled with `keyspace` (see
+/// [`prefill`]). When `pool` is given, its counters are reset and the
+/// delta reported in the result.
+pub fn run(
+    index: &dyn RangeIndex,
+    keyspace: &KeySpace,
+    pool: Option<&PmPool>,
+    cfg: &BenchConfig,
+) -> RunResult {
+    cfg.mix.validate();
+    assert!(
+        cfg.ops_per_thread.is_some() ^ cfg.duration.is_some(),
+        "exactly one of ops_per_thread / duration must be set"
+    );
+    let sampler = cfg.distribution.sampler(keyspace.prefilled());
+    let stop = AtomicBool::new(false);
+    let misses = AtomicU64::new(0);
+    let sample_mask = (1u64 << cfg.latency_sample_shift) - 1;
+
+    if let Some(p) = pool {
+        p.reset_stats();
+    }
+    let start = Instant::now();
+
+    struct ThreadOut {
+        ops: [u64; 5],
+        hist: [LatencyHistogram; 5],
+    }
+
+    let outs: Vec<ThreadOut> = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(cfg.threads);
+        for t in 0..cfg.threads {
+            let index = &index;
+            let stop = &stop;
+            let misses = &misses;
+            let stream = OpStream::new(cfg.mix, sampler, keyspace, cfg.scan_len)
+                .with_negative_lookups(cfg.negative_lookups);
+            let seed = cfg.seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let budget = cfg.ops_per_thread;
+            handles.push(s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut out = ThreadOut {
+                    ops: [0; 5],
+                    hist: std::array::from_fn(|_| LatencyHistogram::new()),
+                };
+                let mut scan_buf: Vec<(u64, u64)> = Vec::with_capacity(256);
+                let mut local_misses = 0u64;
+                let mut seq = 0u64;
+                loop {
+                    if let Some(b) = budget {
+                        if seq >= b {
+                            break;
+                        }
+                    } else if seq & 0xFF == 0 && stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let op = stream.next_op(&mut rng);
+                    let kind = op.kind() as usize;
+                    let sampled = seq & sample_mask == 0;
+                    let t0 = if sampled { Some(Instant::now()) } else { None };
+                    let hit = match op {
+                        Op::Lookup(k) => index.lookup(k).is_some(),
+                        Op::Insert(k, v) => index.insert(k, v),
+                        Op::Update(k, v) => index.update(k, v),
+                        Op::Remove(k) => index.remove(k),
+                        Op::Scan(k, n) => index.scan(k, n, &mut scan_buf) > 0,
+                    };
+                    if let Some(t0) = t0 {
+                        out.hist[kind].record(t0.elapsed().as_nanos() as u64);
+                    }
+                    out.ops[kind] += 1;
+                    if !hit {
+                        local_misses += 1;
+                    }
+                    seq += 1;
+                }
+                misses.fetch_add(local_misses, Ordering::Relaxed);
+                out
+            }));
+        }
+        if let Some(d) = cfg.duration {
+            std::thread::sleep(d);
+            stop.store(true, Ordering::Relaxed);
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let elapsed = start.elapsed();
+    let pm = pool.map(|p| p.stats()).unwrap_or_default();
+
+    let mut ops = [0u64; 5];
+    let mut latency: [LatencyHistogram; 5] = std::array::from_fn(|_| LatencyHistogram::new());
+    for o in &outs {
+        for k in OP_KINDS {
+            ops[k as usize] += o.ops[k as usize];
+            latency[k as usize].merge(&o.hist[k as usize]);
+        }
+    }
+    RunResult {
+        elapsed,
+        ops,
+        misses: misses.load(Ordering::Relaxed),
+        latency,
+        pm,
+    }
+}
+
+/// Convenience: averaged throughput over `repeats` runs (the paper
+/// averages three).
+pub fn run_avg_mops(
+    index: &dyn RangeIndex,
+    keyspace: &KeySpace,
+    pool: Option<&PmPool>,
+    cfg: &BenchConfig,
+    repeats: usize,
+) -> f64 {
+    let mut total = 0.0;
+    for _ in 0..repeats {
+        total += run(index, keyspace, pool, cfg).mops();
+    }
+    total / repeats as f64
+}
+
+/// Shared handle wrapper so factories can hand out `Arc<dyn RangeIndex>`.
+pub type IndexHandle = Arc<dyn RangeIndex>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpKind;
+    use index_api::{Footprint, Key, Value};
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    struct MapIndex(Mutex<BTreeMap<Key, Value>>);
+
+    impl RangeIndex for MapIndex {
+        fn insert(&self, k: Key, v: Value) -> bool {
+            self.0.lock().unwrap().insert(k, v).is_none()
+        }
+        fn lookup(&self, k: Key) -> Option<Value> {
+            self.0.lock().unwrap().get(&k).copied()
+        }
+        fn update(&self, k: Key, v: Value) -> bool {
+            self.0.lock().unwrap().insert(k, v).is_some()
+        }
+        fn remove(&self, k: Key) -> bool {
+            self.0.lock().unwrap().remove(&k).is_some()
+        }
+        fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) -> usize {
+            out.clear();
+            out.extend(
+                self.0
+                    .lock()
+                    .unwrap()
+                    .range(start..)
+                    .take(count)
+                    .map(|(&k, &v)| (k, v)),
+            );
+            out.len()
+        }
+        fn name(&self) -> &'static str {
+            "map"
+        }
+        fn footprint(&self) -> Footprint {
+            Footprint::default()
+        }
+    }
+
+    #[test]
+    fn prefill_then_lookups_all_hit() {
+        let idx = MapIndex(Mutex::new(BTreeMap::new()));
+        let ks = KeySpace::new(10_000);
+        prefill(&idx, &ks, 4);
+        let cfg = BenchConfig {
+            threads: 4,
+            records: 10_000,
+            ops_per_thread: Some(5_000),
+            mix: OpMix::pure(OpKind::Lookup),
+            ..Default::default()
+        };
+        let r = run(&idx, &ks, None, &cfg);
+        assert_eq!(r.total_ops(), 20_000);
+        assert_eq!(r.misses, 0, "every prefilled key must be found");
+        assert!(r.ops[OpKind::Lookup as usize] == 20_000);
+        assert!(!r.latency[OpKind::Lookup as usize].is_empty());
+        assert!(r.mops() > 0.0);
+    }
+
+    #[test]
+    fn insert_phase_has_no_collisions() {
+        let idx = MapIndex(Mutex::new(BTreeMap::new()));
+        let ks = KeySpace::new(1_000);
+        prefill(&idx, &ks, 2);
+        let cfg = BenchConfig {
+            threads: 4,
+            records: 1_000,
+            ops_per_thread: Some(2_000),
+            mix: OpMix::pure(OpKind::Insert),
+            ..Default::default()
+        };
+        let r = run(&idx, &ks, None, &cfg);
+        assert_eq!(r.misses, 0, "insert keys must be fresh");
+        assert_eq!(idx.0.lock().unwrap().len(), 1_000 + 8_000);
+    }
+
+    #[test]
+    fn duration_mode_stops() {
+        let idx = MapIndex(Mutex::new(BTreeMap::new()));
+        let ks = KeySpace::new(100);
+        prefill(&idx, &ks, 1);
+        let cfg = BenchConfig {
+            threads: 2,
+            records: 100,
+            ops_per_thread: None,
+            duration: Some(Duration::from_millis(100)),
+            mix: OpMix::pure(OpKind::Lookup),
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let r = run(&idx, &ks, None, &cfg);
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        assert!(r.total_ops() > 0);
+    }
+
+    #[test]
+    fn mixed_workload_counts_by_kind() {
+        let idx = MapIndex(Mutex::new(BTreeMap::new()));
+        let ks = KeySpace::new(5_000);
+        prefill(&idx, &ks, 2);
+        let cfg = BenchConfig {
+            threads: 2,
+            records: 5_000,
+            ops_per_thread: Some(10_000),
+            mix: OpMix::read_insert(90),
+            ..Default::default()
+        };
+        let r = run(&idx, &ks, None, &cfg);
+        let lookups = r.ops[OpKind::Lookup as usize];
+        let inserts = r.ops[OpKind::Insert as usize];
+        assert_eq!(lookups + inserts, 20_000);
+        assert!(
+            (0.85..=0.95).contains(&(lookups as f64 / 20_000.0)),
+            "lookup share {lookups}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one")]
+    fn config_must_choose_one_phase_length() {
+        let idx = MapIndex(Mutex::new(BTreeMap::new()));
+        let ks = KeySpace::new(10);
+        let cfg = BenchConfig {
+            ops_per_thread: None,
+            duration: None,
+            ..Default::default()
+        };
+        run(&idx, &ks, None, &cfg);
+    }
+}

@@ -1,0 +1,585 @@
+//! # dram-index — a volatile B+-tree baseline
+//!
+//! The DRAM reference point for the "persistent vs. volatile" and
+//! "PM index running on DRAM" experiments: a conventional in-memory
+//! B+-tree with everything PM indexes give up —
+//!
+//! * **sorted nodes with binary search** (no indirection, no
+//!   fingerprints, no bitmap),
+//! * **no persistence instructions** at all,
+//! * **optimistic concurrency**: per-leaf version locks for writers,
+//!   version-validated reads for lookups, and a global sequence lock
+//!   serializing structure modifications (the same concurrency skeleton
+//!   the PM indexes in this workspace use, so the comparison isolates
+//!   *node layout and persistence cost*, not synchronization strategy).
+//!
+//! All node fields readers can race past are atomics; torn values are
+//! discarded by version validation.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use htm::{Abort, Htm};
+use index_api::{Footprint, Key, RangeIndex, Value};
+
+/// Node fanout (keys per node).
+const FANOUT: usize = 64;
+
+/// A DRAM node: sorted keys, values (leaf) or tagged children (inner).
+struct Node {
+    /// Seqlock: odd while a writer holds the node.
+    version: AtomicU64,
+    count: AtomicUsize,
+    keys: Box<[AtomicU64]>,
+    /// Leaf: values; inner: tagged child words (`ptr` with bit 0 clear
+    /// for inner children, `ptr | 1` for leaf children).
+    vals: Box<[AtomicU64]>,
+    /// Leaf chain for scans (raw `*const Node` bits, 0 = none).
+    next: AtomicU64,
+    is_leaf: bool,
+}
+
+#[inline]
+fn tag(ptr: *const Node, leaf: bool) -> u64 {
+    ptr as u64 | leaf as u64
+}
+
+#[inline]
+fn untag(word: u64) -> *const Node {
+    (word & !1) as *const Node
+}
+
+impl Node {
+    fn new(is_leaf: bool) -> Box<Node> {
+        Box::new(Node {
+            version: AtomicU64::new(0),
+            count: AtomicUsize::new(0),
+            keys: (0..FANOUT).map(|_| AtomicU64::new(0)).collect(),
+            vals: (0..FANOUT + 1).map(|_| AtomicU64::new(0)).collect(),
+            next: AtomicU64::new(0),
+            is_leaf,
+        })
+    }
+
+    #[inline]
+    fn count(&self) -> usize {
+        self.count.load(Ordering::Acquire).min(FANOUT)
+    }
+
+    #[inline]
+    fn key(&self, i: usize) -> u64 {
+        self.keys[i].load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn val(&self, i: usize) -> u64 {
+        self.vals[i].load(Ordering::Acquire)
+    }
+
+    /// Binary search among the first `n` keys.
+    fn search(&self, n: usize, key: Key) -> Result<usize, usize> {
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.key(mid).cmp(&key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+
+    /// Inner routing: child index for `key` (child i covers keys in
+    /// `[keys[i-1], keys[i])`, child 0 the underflow).
+    fn route(&self, key: Key) -> usize {
+        let n = self.count();
+        match self.search(n, key) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    fn try_lock(&self) -> Option<u64> {
+        let v = self.version.load(Ordering::Acquire);
+        if v & 1 == 1 {
+            return None;
+        }
+        self.version
+            .compare_exchange(v, v + 1, Ordering::AcqRel, Ordering::Acquire)
+            .ok()
+    }
+
+    fn unlock(&self) {
+        let v = self.version.load(Ordering::Relaxed);
+        debug_assert_eq!(v & 1, 1);
+        self.version.store(v + 1, Ordering::Release);
+    }
+
+    /// Shift-insert `(key, val)` at sorted position `pos` (leaf, locked).
+    fn leaf_insert_at(&self, pos: usize, key: Key, val: Value) {
+        let n = self.count();
+        debug_assert!(n < FANOUT);
+        let mut i = n;
+        while i > pos {
+            self.keys[i].store(self.key(i - 1), Ordering::Release);
+            self.vals[i].store(self.val(i - 1), Ordering::Release);
+            i -= 1;
+        }
+        self.keys[pos].store(key, Ordering::Release);
+        self.vals[pos].store(val, Ordering::Release);
+        self.count.store(n + 1, Ordering::Release);
+    }
+
+    /// Shift-remove the record at `pos` (leaf, locked).
+    fn leaf_remove_at(&self, pos: usize) {
+        let n = self.count();
+        for i in pos..n - 1 {
+            self.keys[i].store(self.key(i + 1), Ordering::Release);
+            self.vals[i].store(self.val(i + 1), Ordering::Release);
+        }
+        self.count.store(n - 1, Ordering::Release);
+    }
+
+    /// Inner separator insert (under the SMO transaction): key at `pos`,
+    /// right child at `pos + 1`.
+    fn inner_insert(&self, key: Key, right: u64) {
+        let n = self.count();
+        debug_assert!(n < FANOUT);
+        let pos = match self.search(n, key) {
+            Ok(_) => unreachable!("duplicate separator"),
+            Err(p) => p,
+        };
+        let mut i = n;
+        while i > pos {
+            self.keys[i].store(self.key(i - 1), Ordering::Release);
+            self.vals[i + 1].store(self.val(i), Ordering::Release);
+            i -= 1;
+        }
+        self.keys[pos].store(key, Ordering::Release);
+        self.vals[pos + 1].store(right, Ordering::Release);
+        self.count.store(n + 1, Ordering::Release);
+    }
+}
+
+/// Volatile B+-tree with optimistic lock coupling (see crate docs).
+pub struct DramTree {
+    smo: Htm,
+    root: AtomicU64,
+    node_count: AtomicU64,
+}
+
+// SAFETY: raw node pointers are managed under the SMO protocol; nodes
+// are never freed while operations run (only on drop).
+unsafe impl Send for DramTree {}
+unsafe impl Sync for DramTree {}
+
+impl DramTree {
+    /// Empty tree.
+    pub fn new() -> DramTree {
+        let leaf = Box::into_raw(Node::new(true));
+        DramTree {
+            smo: Htm::new(),
+            root: AtomicU64::new(tag(leaf, true)),
+            node_count: AtomicU64::new(1),
+        }
+    }
+
+    fn traverse(&self, key: Key) -> Result<&Node, Abort> {
+        let mut w = self.root.load(Ordering::Acquire);
+        for _ in 0..64 {
+            if w == 0 {
+                return Err(Abort);
+            }
+            // SAFETY: nodes are never freed while operations run.
+            let node = unsafe { &*untag(w) };
+            if node.is_leaf {
+                return Ok(node);
+            }
+            w = node.val(node.route(key));
+        }
+        Err(Abort)
+    }
+
+    fn locate_and_lock(&self, key: Key) -> &Node {
+        loop {
+            let (leaf, ver) = self
+                .smo
+                .speculative_read(|v| self.traverse(key).map(|l| (l as *const Node, v)));
+            // SAFETY: see traverse.
+            let leaf = unsafe { &*leaf };
+            if leaf.try_lock().is_none() {
+                std::hint::spin_loop();
+                continue;
+            }
+            if self.smo.version() != ver {
+                leaf.unlock();
+                continue;
+            }
+            return leaf;
+        }
+    }
+
+    /// Split a full, locked leaf inside the SMO transaction. Returns the
+    /// leaf that now owns `key` (still locked; the other is unlocked).
+    fn split_leaf<'a>(&'a self, leaf: &'a Node, key: Key) -> &'a Node {
+        debug_assert_eq!(leaf.count(), FANOUT);
+        let right = Node::new(true);
+        let mid = FANOUT / 2;
+        let sep = leaf.key(mid);
+        for i in mid..FANOUT {
+            right.keys[i - mid].store(leaf.key(i), Ordering::Release);
+            right.vals[i - mid].store(leaf.val(i), Ordering::Release);
+        }
+        right.count.store(FANOUT - mid, Ordering::Release);
+        right
+            .next
+            .store(leaf.next.load(Ordering::Acquire), Ordering::Release);
+        right.version.store(1, Ordering::Release); // created locked
+        let right_ptr = Box::into_raw(right);
+        self.node_count.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: fresh pointer from Box::into_raw.
+        let right = unsafe { &*right_ptr };
+        leaf.next.store(tag(right_ptr, true), Ordering::Release);
+        leaf.count.store(mid, Ordering::Release);
+        self.insert_separator(sep, tag(right_ptr, true), key);
+        if key >= sep {
+            leaf.unlock();
+            right
+        } else {
+            right.unlock();
+            leaf
+        }
+    }
+
+    /// Insert `(sep, right)` into the inner structure (inside the SMO
+    /// transaction), growing the root as needed. `probe` is a key that
+    /// routed to the split child (used to find the path).
+    fn insert_separator(&self, sep: Key, right: u64, probe: Key) {
+        let mut path: Vec<&Node> = Vec::new();
+        let mut w = self.root.load(Ordering::Acquire);
+        loop {
+            // SAFETY: nodes live until drop.
+            let node = unsafe { &*untag(w) };
+            if node.is_leaf {
+                break;
+            }
+            path.push(node);
+            w = node.val(node.route(probe));
+        }
+        let mut sep = sep;
+        let mut right = right;
+        loop {
+            match path.pop() {
+                None => {
+                    let old_root = self.root.load(Ordering::Acquire);
+                    let new_root = Node::new(false);
+                    new_root.keys[0].store(sep, Ordering::Release);
+                    new_root.vals[0].store(old_root, Ordering::Release);
+                    new_root.vals[1].store(right, Ordering::Release);
+                    new_root.count.store(1, Ordering::Release);
+                    self.node_count.fetch_add(1, Ordering::Relaxed);
+                    self.root
+                        .store(tag(Box::into_raw(new_root), false), Ordering::Release);
+                    return;
+                }
+                Some(node) => {
+                    if node.count() < FANOUT {
+                        node.inner_insert(sep, right);
+                        return;
+                    }
+                    // Split the inner node.
+                    let new_right = Node::new(false);
+                    let n = node.count();
+                    let mid = n / 2;
+                    let promote = node.key(mid);
+                    let moved = n - mid - 1;
+                    for i in 0..moved {
+                        new_right.keys[i].store(node.key(mid + 1 + i), Ordering::Release);
+                    }
+                    for i in 0..=moved {
+                        new_right.vals[i].store(node.val(mid + 1 + i), Ordering::Release);
+                    }
+                    new_right.count.store(moved, Ordering::Release);
+                    node.count.store(mid, Ordering::Release);
+                    let nr = Box::into_raw(new_right);
+                    self.node_count.fetch_add(1, Ordering::Relaxed);
+                    // SAFETY: fresh pointer.
+                    let nr_ref = unsafe { &*nr };
+                    if sep >= promote {
+                        nr_ref.inner_insert(sep, right);
+                    } else {
+                        node.inner_insert(sep, right);
+                    }
+                    sep = promote;
+                    right = tag(nr, false);
+                }
+            }
+        }
+    }
+
+    /// Number of allocated nodes (footprint reporting).
+    pub fn node_count(&self) -> u64 {
+        self.node_count.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for DramTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RangeIndex for DramTree {
+    fn insert(&self, key: Key, value: Value) -> bool {
+        let mut leaf = self.locate_and_lock(key);
+        let n = leaf.count();
+        if leaf.search(n, key).is_ok() {
+            leaf.unlock();
+            return false;
+        }
+        if n == FANOUT {
+            leaf = self.smo.write_txn(|| self.split_leaf(leaf, key));
+        }
+        let n = leaf.count();
+        match leaf.search(n, key) {
+            Ok(_) => {
+                leaf.unlock();
+                false
+            }
+            Err(pos) => {
+                leaf.leaf_insert_at(pos, key, value);
+                leaf.unlock();
+                true
+            }
+        }
+    }
+
+    fn lookup(&self, key: Key) -> Option<Value> {
+        self.smo.speculative_read(|_| {
+            let leaf = self.traverse(key)?;
+            let v1 = leaf.version.load(Ordering::Acquire);
+            if v1 & 1 == 1 {
+                return Err(Abort);
+            }
+            let r = leaf.search(leaf.count(), key).ok().map(|i| leaf.val(i));
+            if leaf.version.load(Ordering::Acquire) != v1 {
+                return Err(Abort);
+            }
+            Ok(r)
+        })
+    }
+
+    fn update(&self, key: Key, value: Value) -> bool {
+        let leaf = self.locate_and_lock(key);
+        let r = match leaf.search(leaf.count(), key) {
+            Ok(i) => {
+                leaf.vals[i].store(value, Ordering::Release);
+                true
+            }
+            Err(_) => false,
+        };
+        leaf.unlock();
+        r
+    }
+
+    fn remove(&self, key: Key) -> bool {
+        let leaf = self.locate_and_lock(key);
+        let r = match leaf.search(leaf.count(), key) {
+            Ok(i) => {
+                leaf.leaf_remove_at(i);
+                true
+            }
+            Err(_) => false,
+        };
+        leaf.unlock();
+        r
+    }
+
+    fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) -> usize {
+        out.clear();
+        if count == 0 {
+            return 0;
+        }
+        let mut w = self
+            .smo
+            .speculative_read(|_| self.traverse(start).map(|l| l as *const Node));
+        let mut batch = Vec::with_capacity(FANOUT);
+        while !w.is_null() && out.len() < count {
+            // SAFETY: nodes live until drop.
+            let leaf = unsafe { &*w };
+            let next;
+            loop {
+                let v1 = leaf.version.load(Ordering::Acquire);
+                if v1 & 1 == 1 {
+                    std::hint::spin_loop();
+                    continue;
+                }
+                batch.clear();
+                let n = leaf.count();
+                for i in 0..n {
+                    let k = leaf.key(i);
+                    if k >= start {
+                        batch.push((k, leaf.val(i)));
+                    }
+                }
+                let nx = leaf.next.load(Ordering::Acquire);
+                if leaf.version.load(Ordering::Acquire) == v1 {
+                    next = untag(nx);
+                    break;
+                }
+            }
+            out.extend(batch.iter().copied());
+            w = next;
+        }
+        out.truncate(count);
+        out.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "dram-btree"
+    }
+
+    fn footprint(&self) -> Footprint {
+        Footprint {
+            pm_bytes: 0,
+            dram_bytes: self.node_count()
+                * (std::mem::size_of::<Node>() as u64 + 16 * FANOUT as u64 + 24),
+        }
+    }
+}
+
+impl Drop for DramTree {
+    fn drop(&mut self) {
+        let mut stack = vec![self.root.load(Ordering::Relaxed)];
+        while let Some(w) = stack.pop() {
+            if w == 0 {
+                continue;
+            }
+            let ptr = untag(w) as *mut Node;
+            // SAFETY: exclusive access in drop; pointers from Box::into_raw.
+            let node = unsafe { Box::from_raw(ptr) };
+            if !node.is_leaf {
+                for i in 0..=node.count() {
+                    stack.push(node.val(i));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use index_api::oracle;
+
+    #[test]
+    fn basic_ops() {
+        let t = DramTree::new();
+        assert!(t.insert(3, 30));
+        assert!(!t.insert(3, 31));
+        assert_eq!(t.lookup(3), Some(30));
+        assert!(t.update(3, 33));
+        assert_eq!(t.lookup(3), Some(33));
+        assert!(t.remove(3));
+        assert!(!t.remove(3));
+        assert_eq!(t.lookup(3), None);
+    }
+
+    #[test]
+    fn many_inserts_with_splits() {
+        let t = DramTree::new();
+        for k in 0..20_000u64 {
+            assert!(t.insert((k * 7919) % 20_000, k));
+        }
+        for k in 0..20_000u64 {
+            assert!(t.lookup(k).is_some(), "key {k}");
+        }
+        assert!(t.node_count() > 100);
+    }
+
+    #[test]
+    fn conformance_against_oracle() {
+        let t = DramTree::new();
+        oracle::check_conformance(&t, 0xD8, 30_000, 4_000);
+    }
+
+    #[test]
+    fn scan_sorted() {
+        let t = DramTree::new();
+        for k in (0..2_000u64).rev() {
+            t.insert(k, k + 1);
+        }
+        let mut out = Vec::new();
+        assert_eq!(t.scan(500, 100, &mut out), 100);
+        let want: Vec<(u64, u64)> = (500..600).map(|k| (k, k + 1)).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn concurrent_inserts_and_lookups() {
+        let t = DramTree::new();
+        std::thread::scope(|s| {
+            for tid in 0..8u64 {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..3_000u64 {
+                        let k = tid * 100_000 + i;
+                        assert!(t.insert(k, k));
+                        assert_eq!(t.lookup(k), Some(k));
+                    }
+                });
+            }
+        });
+        for tid in 0..8u64 {
+            for i in 0..3_000u64 {
+                let k = tid * 100_000 + i;
+                assert_eq!(t.lookup(k), Some(k), "key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_ops() {
+        let t = DramTree::new();
+        std::thread::scope(|s| {
+            for tid in 0..6u64 {
+                let t = &t;
+                s.spawn(move || {
+                    let mut x = tid + 17;
+                    for i in 0..5_000u64 {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let k = x % 4_096;
+                        match i % 5 {
+                            0 | 1 => {
+                                t.insert(k, i);
+                            }
+                            2 => {
+                                t.lookup(k);
+                            }
+                            3 => {
+                                t.update(k, i);
+                            }
+                            _ => {
+                                let mut out = Vec::new();
+                                t.scan(k, 16, &mut out);
+                                assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn footprint_grows() {
+        let t = DramTree::new();
+        let before = t.footprint().dram_bytes;
+        for k in 0..10_000u64 {
+            t.insert(k, k);
+        }
+        assert!(t.footprint().dram_bytes > before);
+        assert_eq!(t.footprint().pm_bytes, 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! DRAM-resident inner nodes.
+//!
+//! Inner nodes only guide traffic; they are rebuilt from the leaf chain
+//! on recovery, so nothing here is persisted. All fields are atomics:
+//! structure-modifying operations mutate them in place under the HTM
+//! write transaction while speculative readers may race past — readers
+//! tolerate torn values and rely on version validation to discard any
+//! result computed from them.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Tag a PM leaf offset as a child word (low bit set).
+#[inline]
+pub fn tag_leaf(off: u64) -> u64 {
+    debug_assert!(off << 1 >> 1 == off, "offset too large to tag");
+    (off << 1) | 1
+}
+
+/// Tag a DRAM inner-node pointer as a child word (low bit clear).
+#[inline]
+pub fn tag_inner(ptr: *const Inner) -> u64 {
+    let p = ptr as u64;
+    debug_assert_eq!(p & 1, 0);
+    p
+}
+
+/// Whether a child word refers to a leaf.
+#[inline]
+pub fn is_leaf(word: u64) -> bool {
+    word & 1 == 1
+}
+
+/// Extract the PM offset from a leaf child word.
+#[inline]
+pub fn leaf_off(word: u64) -> u64 {
+    word >> 1
+}
+
+/// Extract the inner-node pointer from a child word.
+///
+/// # Safety
+/// `word` must be a live inner-node pointer created by [`tag_inner`].
+/// The tree never frees inner nodes while operations run, so traversals
+/// may dereference any child word they observe.
+#[inline]
+pub unsafe fn inner_ref<'a>(word: u64) -> &'a Inner {
+    &*(word as *const Inner)
+}
+
+/// A B+-tree inner node: `nkeys` sorted separator keys and `nkeys + 1`
+/// children. Child `i` covers keys in `[keys[i-1], keys[i])`.
+pub struct Inner {
+    nkeys: AtomicUsize,
+    keys: Box<[AtomicU64]>,
+    children: Box<[AtomicU64]>,
+}
+
+impl Inner {
+    /// Empty node with room for `fanout` keys.
+    pub fn new(fanout: usize) -> Box<Inner> {
+        Box::new(Inner {
+            nkeys: AtomicUsize::new(0),
+            keys: (0..fanout).map(|_| AtomicU64::new(0)).collect(),
+            children: (0..fanout + 1).map(|_| AtomicU64::new(0)).collect(),
+        })
+    }
+
+    /// Number of separator keys (clamped for torn reads).
+    #[inline]
+    pub fn nkeys(&self) -> usize {
+        self.nkeys.load(Ordering::Acquire).min(self.keys.len())
+    }
+
+    /// Whether the node is full.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.nkeys() == self.keys.len()
+    }
+
+    /// Separator key `i`.
+    #[inline]
+    pub fn key(&self, i: usize) -> u64 {
+        self.keys[i].load(Ordering::Acquire)
+    }
+
+    /// Child word `i`.
+    #[inline]
+    pub fn child(&self, i: usize) -> u64 {
+        self.children[i].load(Ordering::Acquire)
+    }
+
+    /// Index of the child that covers `key`.
+    #[inline]
+    pub fn route(&self, key: u64) -> usize {
+        let n = self.nkeys();
+        // Binary search for the first separator greater than `key`.
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if key < self.key(mid) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    /// Child word covering `key` (may be 0 on a torn read; callers
+    /// abort and retry).
+    #[inline]
+    pub fn child_for(&self, key: u64) -> u64 {
+        self.child(self.route(key))
+    }
+
+    /// Insert separator `key` with `right` as the child to its right.
+    /// Caller must hold the write transaction and ensure the node is not
+    /// full.
+    pub fn insert(&self, key: u64, right: u64) {
+        let n = self.nkeys();
+        debug_assert!(n < self.keys.len());
+        let pos = self.route(key);
+        // Shift from the end so concurrent speculative readers only ever
+        // see valid (if possibly stale) words.
+        let mut i = n;
+        while i > pos {
+            let k = self.keys[i - 1].load(Ordering::Acquire);
+            self.keys[i].store(k, Ordering::Release);
+            let c = self.children[i].load(Ordering::Acquire);
+            self.children[i + 1].store(c, Ordering::Release);
+            i -= 1;
+        }
+        self.keys[pos].store(key, Ordering::Release);
+        self.children[pos + 1].store(right, Ordering::Release);
+        self.nkeys.store(n + 1, Ordering::Release);
+    }
+
+    /// Initialize slot 0 for a fresh root: one separator, two children.
+    pub fn init_root(&self, key: u64, left: u64, right: u64) {
+        self.keys[0].store(key, Ordering::Release);
+        self.children[0].store(left, Ordering::Release);
+        self.children[1].store(right, Ordering::Release);
+        self.nkeys.store(1, Ordering::Release);
+    }
+
+    /// Split a full node: moves the upper half into `right_node` and
+    /// returns the separator key to promote. Caller holds the write
+    /// transaction.
+    pub fn split_into(&self, right_node: &Inner) -> u64 {
+        let n = self.nkeys();
+        debug_assert_eq!(n, self.keys.len());
+        let mid = n / 2;
+        let promote = self.key(mid);
+        let moved = n - mid - 1;
+        for i in 0..moved {
+            right_node.keys[i].store(self.key(mid + 1 + i), Ordering::Release);
+        }
+        for i in 0..=moved {
+            right_node.children[i].store(self.child(mid + 1 + i), Ordering::Release);
+        }
+        right_node.nkeys.store(moved, Ordering::Release);
+        self.nkeys.store(mid, Ordering::Release);
+        promote
+    }
+
+    /// Bulk-load construction: set keys/children wholesale (recovery).
+    pub fn load(&self, keys: &[u64], children: &[u64]) {
+        debug_assert_eq!(children.len(), keys.len() + 1);
+        debug_assert!(keys.len() <= self.keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            self.keys[i].store(k, Ordering::Release);
+        }
+        for (i, &c) in children.iter().enumerate() {
+            self.children[i].store(c, Ordering::Release);
+        }
+        self.nkeys.store(keys.len(), Ordering::Release);
+    }
+
+    /// Approximate DRAM footprint of one node.
+    pub fn dram_bytes(fanout: usize) -> u64 {
+        (std::mem::size_of::<Inner>() + (2 * fanout + 1) * 8) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tagging_roundtrip() {
+        let w = tag_leaf(0xABCD00);
+        assert!(is_leaf(w));
+        assert_eq!(leaf_off(w), 0xABCD00);
+        let node = Inner::new(4);
+        let w = tag_inner(&*node);
+        assert!(!is_leaf(w));
+    }
+
+    #[test]
+    fn routing() {
+        let n = Inner::new(8);
+        n.init_root(10, 100, 101);
+        n.insert(20, 102);
+        n.insert(30, 103);
+        assert_eq!(n.route(5), 0);
+        assert_eq!(n.route(10), 1);
+        assert_eq!(n.route(15), 1);
+        assert_eq!(n.route(25), 2);
+        assert_eq!(n.route(30), 3);
+        assert_eq!(n.route(99), 3);
+        assert_eq!(n.child_for(5), 100);
+        assert_eq!(n.child_for(25), 102);
+        assert_eq!(n.child_for(99), 103);
+    }
+
+    #[test]
+    fn insert_keeps_sorted_order() {
+        let n = Inner::new(16);
+        n.init_root(50, 1, 2);
+        for (k, c) in [(30u64, 3u64), (70, 4), (10, 5), (60, 6)] {
+            n.insert(k, c);
+        }
+        let keys: Vec<u64> = (0..n.nkeys()).map(|i| n.key(i)).collect();
+        assert_eq!(keys, vec![10, 30, 50, 60, 70]);
+        // Child to the right of key 60 is 6.
+        assert_eq!(n.child(n.route(60)), 6);
+    }
+
+    #[test]
+    fn split_moves_upper_half() {
+        let n = Inner::new(4);
+        n.init_root(10, 0, 1);
+        n.insert(20, 2);
+        n.insert(30, 3);
+        n.insert(40, 4);
+        assert!(n.is_full());
+        let right = Inner::new(4);
+        let promote = n.split_into(&right);
+        assert_eq!(promote, 30);
+        assert_eq!(n.nkeys(), 2);
+        assert_eq!(right.nkeys(), 1);
+        assert_eq!(right.key(0), 40);
+        assert_eq!(right.child(0), 3);
+        assert_eq!(right.child(1), 4);
+        // Left retains 10, 20 with children 0,1,2.
+        assert_eq!(n.key(0), 10);
+        assert_eq!(n.key(1), 20);
+        assert_eq!(n.child(2), 2);
+    }
+
+    #[test]
+    fn bulk_load() {
+        let n = Inner::new(8);
+        n.load(&[10, 20], &[7, 8, 9]);
+        assert_eq!(n.nkeys(), 2);
+        assert_eq!(n.child_for(15), 8);
+    }
+}

@@ -1,0 +1,125 @@
+//! PM leaf-node layout, parameterized at runtime so node-size ablations
+//! (E12) can sweep it.
+
+use pmem::align_up;
+
+/// Byte layout of one PM-resident leaf:
+///
+/// ```text
+/// +0   bitmap   u64   slot-validity bits (bit i = slot i live)
+/// +8   vlock    u64   version lock: odd = write-locked (runtime only)
+/// +16  next     u64   pool offset of the right sibling (0 = none)
+/// +24  fps      [u8]  one fingerprint byte per slot (padded to 8)
+/// +K   keys     [u64] per-slot keys
+/// +V   vals     [u64] per-slot values
+/// ```
+///
+/// `bitmap` is the only commit point: a record exists iff its bit is
+/// set, which is why an 8-byte atomic bitmap write gives failure
+/// atomicity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafLayout {
+    /// Slots per leaf (≤ 64).
+    pub entries: usize,
+    /// Offset of the fingerprint array.
+    pub fp_off: u64,
+    /// Offset of the key array.
+    pub keys_off: u64,
+    /// Offset of the value array.
+    pub vals_off: u64,
+    /// Total leaf size in bytes.
+    pub size: usize,
+}
+
+/// Offset of the slot bitmap within a leaf.
+pub const BITMAP_OFF: u64 = 0;
+/// Offset of the version lock within a leaf.
+pub const VLOCK_OFF: u64 = 8;
+/// Offset of the next-sibling pointer within a leaf.
+pub const NEXT_OFF: u64 = 16;
+
+impl LeafLayout {
+    /// Layout for `entries` slots.
+    pub fn new(entries: usize) -> Self {
+        assert!(
+            (1..=64).contains(&entries),
+            "leaf entries must be in 1..=64 (one bitmap word)"
+        );
+        let fp_off = 24;
+        let keys_off = align_up(fp_off + entries as u64, 8);
+        let vals_off = keys_off + 8 * entries as u64;
+        let size = (vals_off + 8 * entries as u64) as usize;
+        Self {
+            entries,
+            fp_off,
+            keys_off,
+            vals_off,
+            size,
+        }
+    }
+
+    /// Offset of slot `i`'s fingerprint byte.
+    #[inline]
+    pub fn fp(&self, base: u64, i: usize) -> u64 {
+        base + self.fp_off + i as u64
+    }
+
+    /// Offset of slot `i`'s key.
+    #[inline]
+    pub fn key(&self, base: u64, i: usize) -> u64 {
+        base + self.keys_off + 8 * i as u64
+    }
+
+    /// Offset of slot `i`'s value.
+    #[inline]
+    pub fn val(&self, base: u64, i: usize) -> u64 {
+        base + self.vals_off + 8 * i as u64
+    }
+
+    /// Bitmask covering all valid slots.
+    #[inline]
+    pub fn full_mask(&self) -> u64 {
+        if self.entries == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.entries) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_layout() {
+        let l = LeafLayout::new(64);
+        assert_eq!(l.fp_off, 24);
+        assert_eq!(l.keys_off, 88); // 24 + 64 fingerprints, already aligned
+        assert_eq!(l.vals_off, 88 + 512);
+        assert_eq!(l.size, 88 + 512 + 512); // 1112 bytes
+        assert_eq!(l.full_mask(), u64::MAX);
+    }
+
+    #[test]
+    fn odd_entry_counts_are_padded() {
+        let l = LeafLayout::new(14);
+        assert_eq!(l.keys_off, 40); // 24 + 14 → padded to 40
+        assert_eq!(l.full_mask(), (1 << 14) - 1);
+    }
+
+    #[test]
+    fn slot_offsets() {
+        let l = LeafLayout::new(8);
+        let base = 1 << 20;
+        assert_eq!(l.fp(base, 3), base + 24 + 3);
+        assert_eq!(l.key(base, 3), base + 32 + 24);
+        assert_eq!(l.val(base, 3), base + 32 + 64 + 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf entries")]
+    fn rejects_oversized_leaf() {
+        LeafLayout::new(65);
+    }
+}

@@ -1,0 +1,145 @@
+//! # index-api — the common range-index interface
+//!
+//! PiBench requires every index to implement one abstract interface so
+//! that the same harness can drive them all; this crate is that
+//! interface, plus shared testing machinery:
+//!
+//! * [`RangeIndex`] — the operation set the paper benchmarks
+//!   (lookup / insert / update / remove / scan), object-safe so the
+//!   harness can hold `dyn RangeIndex`.
+//! * [`Footprint`] — PM/DRAM space reporting for the memory-consumption
+//!   table.
+//! * [`oracle`] — a `BTreeMap`-backed reference model and a conformance
+//!   driver used by every index's test suite and by the cross-index
+//!   integration tests.
+
+use std::fmt;
+
+pub mod oracle;
+
+/// Fixed-size key type used throughout the evaluation (the paper's
+/// default workload uses 8-byte integer keys).
+pub type Key = u64;
+/// 8-byte values, as in the paper.
+pub type Value = u64;
+
+/// Memory consumed by an index, split by device.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Footprint {
+    /// Bytes resident on (emulated) persistent memory.
+    pub pm_bytes: u64,
+    /// Bytes resident in DRAM (inner nodes, caches, metadata mirrors).
+    pub dram_bytes: u64,
+}
+
+impl fmt::Display for Footprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PM {:.2} MiB / DRAM {:.2} MiB",
+            self.pm_bytes as f64 / (1 << 20) as f64,
+            self.dram_bytes as f64 / (1 << 20) as f64
+        )
+    }
+}
+
+/// The abstract index interface every evaluated structure implements
+/// (PiBench's `tree_api` equivalent).
+///
+/// All operations take `&self`: indexes are internally synchronized.
+/// Implementations define their own concurrency control (HTM+locks,
+/// lock-free PMwCAS, plain locking …), which is precisely what the
+/// benchmark compares.
+pub trait RangeIndex: Send + Sync {
+    /// Insert `key → value`. Returns `false` (and changes nothing) if
+    /// the key already exists.
+    fn insert(&self, key: Key, value: Value) -> bool;
+
+    /// Point lookup.
+    fn lookup(&self, key: Key) -> Option<Value>;
+
+    /// Replace the value of an existing key. Returns `false` if the key
+    /// does not exist.
+    fn update(&self, key: Key, value: Value) -> bool;
+
+    /// Delete a key. Returns `false` if it was not present.
+    fn remove(&self, key: Key) -> bool;
+
+    /// Ascending range scan: append up to `count` records with
+    /// `key >= start` to `out` in key order. Returns the number of
+    /// records appended. `out` is cleared first.
+    fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) -> usize;
+
+    /// Short static name for reports ("fptree", "bztree", …).
+    fn name(&self) -> &'static str;
+
+    /// Space consumption; indexes that cannot attribute usage return
+    /// zeroes.
+    fn footprint(&self) -> Footprint {
+        Footprint::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::sync::Mutex;
+
+    /// Minimal reference implementation used to validate the trait's
+    /// contract and the oracle driver itself.
+    pub struct MapIndex(pub Mutex<BTreeMap<Key, Value>>);
+
+    impl RangeIndex for MapIndex {
+        fn insert(&self, key: Key, value: Value) -> bool {
+            use std::collections::btree_map::Entry;
+            match self.0.lock().unwrap().entry(key) {
+                Entry::Occupied(_) => false,
+                Entry::Vacant(e) => {
+                    e.insert(value);
+                    true
+                }
+            }
+        }
+        fn lookup(&self, key: Key) -> Option<Value> {
+            self.0.lock().unwrap().get(&key).copied()
+        }
+        fn update(&self, key: Key, value: Value) -> bool {
+            let mut m = self.0.lock().unwrap();
+            match m.get_mut(&key) {
+                Some(v) => {
+                    *v = value;
+                    true
+                }
+                None => false,
+            }
+        }
+        fn remove(&self, key: Key) -> bool {
+            self.0.lock().unwrap().remove(&key).is_some()
+        }
+        fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) -> usize {
+            out.clear();
+            let m = self.0.lock().unwrap();
+            out.extend(m.range(start..).take(count).map(|(&k, &v)| (k, v)));
+            out.len()
+        }
+        fn name(&self) -> &'static str {
+            "map-index"
+        }
+    }
+
+    #[test]
+    fn map_index_passes_conformance() {
+        let idx = MapIndex(Mutex::new(BTreeMap::new()));
+        crate::oracle::check_conformance(&idx, 0xC0FFEE, 5_000, 1_000);
+    }
+
+    #[test]
+    fn footprint_display() {
+        let f = Footprint {
+            pm_bytes: 3 << 20,
+            dram_bytes: 1 << 19,
+        };
+        assert_eq!(format!("{f}"), "PM 3.00 MiB / DRAM 0.50 MiB");
+    }
+}

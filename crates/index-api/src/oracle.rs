@@ -1,0 +1,209 @@
+//! Reference model and conformance driver.
+//!
+//! Every index in the workspace is validated against [`Oracle`], a
+//! `BTreeMap` with the exact [`crate::RangeIndex`] semantics. The
+//! driver generates a deterministic random operation stream and asserts
+//! result-for-result agreement, including scan contents and order.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Key, RangeIndex, Value};
+
+/// One benchmark/model operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Insert a key/value pair.
+    Insert(Key, Value),
+    /// Point lookup.
+    Lookup(Key),
+    /// Update an existing key's value.
+    Update(Key, Value),
+    /// Delete a key.
+    Remove(Key),
+    /// Scan `count` records starting at the key.
+    Scan(Key, usize),
+}
+
+/// The `BTreeMap`-backed reference model.
+#[derive(Debug, Default)]
+pub struct Oracle {
+    map: BTreeMap<Key, Value>,
+}
+
+impl Oracle {
+    /// Empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Model semantics of [`RangeIndex::insert`].
+    pub fn insert(&mut self, key: Key, value: Value) -> bool {
+        use std::collections::btree_map::Entry;
+        match self.map.entry(key) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(e) => {
+                e.insert(value);
+                true
+            }
+        }
+    }
+
+    /// Model semantics of [`RangeIndex::lookup`].
+    pub fn lookup(&self, key: Key) -> Option<Value> {
+        self.map.get(&key).copied()
+    }
+
+    /// Model semantics of [`RangeIndex::update`].
+    pub fn update(&mut self, key: Key, value: Value) -> bool {
+        match self.map.get_mut(&key) {
+            Some(v) => {
+                *v = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Model semantics of [`RangeIndex::remove`].
+    pub fn remove(&mut self, key: Key) -> bool {
+        self.map.remove(&key).is_some()
+    }
+
+    /// Model semantics of [`RangeIndex::scan`].
+    pub fn scan(&self, start: Key, count: usize) -> Vec<(Key, Value)> {
+        self.map
+            .range(start..)
+            .take(count)
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the model is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate all records in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, Value)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+/// Generate a deterministic mixed operation stream. Keys are drawn from
+/// `[0, key_range)` so collisions (duplicate inserts, misses, repeated
+/// removes) are exercised; values encode the op index for debuggability.
+pub fn random_ops(seed: u64, n: usize, key_range: u64) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let key = rng.gen_range(0..key_range);
+            let value = i as Value + 1;
+            match rng.gen_range(0..100) {
+                0..=39 => Op::Insert(key, value),
+                40..=64 => Op::Lookup(key),
+                65..=79 => Op::Update(key, value),
+                80..=89 => Op::Remove(key),
+                _ => Op::Scan(key, rng.gen_range(1..32)),
+            }
+        })
+        .collect()
+}
+
+/// Apply one op to an index and the model, asserting identical results.
+pub fn apply_and_compare(index: &(impl RangeIndex + ?Sized), model: &mut Oracle, op: Op) {
+    match op {
+        Op::Insert(k, v) => {
+            assert_eq!(index.insert(k, v), model.insert(k, v), "insert({k})");
+        }
+        Op::Lookup(k) => {
+            assert_eq!(index.lookup(k), model.lookup(k), "lookup({k})");
+        }
+        Op::Update(k, v) => {
+            assert_eq!(index.update(k, v), model.update(k, v), "update({k})");
+        }
+        Op::Remove(k) => {
+            assert_eq!(index.remove(k), model.remove(k), "remove({k})");
+        }
+        Op::Scan(k, n) => {
+            let mut got = Vec::new();
+            index.scan(k, n, &mut got);
+            let want = model.scan(k, n);
+            assert_eq!(got, want, "scan({k}, {n})");
+        }
+    }
+}
+
+/// Run a full conformance pass: `n` random ops over `key_range` keys,
+/// checking every result and a final full sweep.
+pub fn check_conformance(index: &(impl RangeIndex + ?Sized), seed: u64, n: usize, key_range: u64) {
+    let mut model = Oracle::new();
+    for op in random_ops(seed, n, key_range) {
+        apply_and_compare(index, &mut model, op);
+    }
+    // Final sweep: everything in the model must be scannable in order.
+    let want: Vec<_> = model.iter().collect();
+    let mut got = Vec::new();
+    index.scan(0, want.len() + 1, &mut got);
+    assert_eq!(got, want, "final full scan mismatch");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_matches_btreemap_semantics() {
+        let mut o = Oracle::new();
+        assert!(o.insert(5, 50));
+        assert!(!o.insert(5, 51), "duplicate insert must fail");
+        assert_eq!(o.lookup(5), Some(50));
+        assert!(o.update(5, 55));
+        assert!(!o.update(6, 60));
+        assert_eq!(o.lookup(5), Some(55));
+        assert!(o.remove(5));
+        assert!(!o.remove(5));
+        assert!(o.is_empty());
+    }
+
+    #[test]
+    fn scan_is_sorted_and_bounded() {
+        let mut o = Oracle::new();
+        for k in [9u64, 3, 7, 1, 5] {
+            o.insert(k, k * 10);
+        }
+        assert_eq!(o.scan(3, 3), vec![(3, 30), (5, 50), (7, 70)]);
+        assert_eq!(o.scan(0, 100).len(), 5);
+        assert_eq!(o.scan(10, 3), vec![]);
+    }
+
+    #[test]
+    fn random_ops_are_deterministic() {
+        assert_eq!(random_ops(1, 100, 50), random_ops(1, 100, 50));
+        assert_ne!(random_ops(1, 100, 50), random_ops(2, 100, 50));
+    }
+
+    #[test]
+    fn op_mix_covers_all_variants() {
+        let ops = random_ops(3, 2_000, 100);
+        let mut seen = [false; 5];
+        for op in ops {
+            let i = match op {
+                Op::Insert(..) => 0,
+                Op::Lookup(..) => 1,
+                Op::Update(..) => 2,
+                Op::Remove(..) => 3,
+                Op::Scan(..) => 4,
+            };
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "mix missing a variant: {seen:?}");
+    }
+}

@@ -1,0 +1,68 @@
+//! # nvtree — NV-Tree (Yang et al., FAST 2015)
+//!
+//! A persistent B+-tree built around *selective consistency*: only leaf
+//! nodes are kept crash-consistent; everything that routes traffic is
+//! volatile and rebuilt after a failure.
+//!
+//! * **Append-only unsorted leaves.** A leaf is a log of `(key, value)`
+//!   entries plus a flag bit per entry (set = insert/update, clear =
+//!   *negative* entry, i.e. a deletion tombstone). The persisted entry
+//!   count is the commit point: an operation appends its entry, persists
+//!   it, then bumps the count with one atomic 8-byte write. Lookups scan
+//!   backwards so the newest entry for a key wins.
+//! * **Inconsistent inner structure.** Routing uses a volatile snapshot:
+//!   a flat array of *parent-of-leaf nodes* (PLNs) holding sorted
+//!   `(separator, leaf)` entries. Leaf splits update one PLN in place;
+//!   when a PLN overflows, the entire snapshot is **rebuilt** — NV-Tree's
+//!   signature cost, which is why its insert throughput degrades in the
+//!   paper's experiments.
+//! * **Replace-on-split.** Append-only leaves cannot be shrunk in place,
+//!   so a full leaf is *replaced*: its live records are compacted into
+//!   one or two freshly allocated leaves which are published with a
+//!   single 8-byte pointer update in the persistent leaf chain. The old
+//!   leaf is freed after a grace period (readers may still be parked on
+//!   it); a crash before the free merely leaks an unreachable block,
+//!   which recovery garbage-collects by diffing the allocator's block
+//!   enumeration against the leaf chain.
+//! * **Concurrency.** Writers take a per-leaf version lock; readers are
+//!   optimistic (leaf version validation) and traversal validates
+//!   against a global SMO sequence lock. Structure modifications are
+//!   serialized, matching the modest multi-core ambitions of the
+//!   original design.
+
+mod snapshot;
+mod tree;
+
+pub use snapshot::Snapshot;
+pub use tree::NvTree;
+
+/// Tuning knobs. Defaults: 64 append slots per leaf, 128-entry PLNs.
+#[derive(Debug, Clone, Copy)]
+pub struct NvTreeConfig {
+    /// Append slots per leaf (the leaf is replaced when they run out).
+    pub leaf_entries: usize,
+    /// Capacity of one parent-of-leaf node; a rebuild is triggered when
+    /// one overflows. Rebuilt PLNs start half full.
+    pub pln_entries: usize,
+}
+
+impl Default for NvTreeConfig {
+    fn default() -> Self {
+        Self {
+            leaf_entries: 64,
+            pln_entries: 128,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config() {
+        let c = NvTreeConfig::default();
+        assert_eq!(c.leaf_entries, 64);
+        assert_eq!(c.pln_entries, 128);
+    }
+}

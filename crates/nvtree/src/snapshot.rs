@@ -1,0 +1,299 @@
+//! The volatile routing snapshot: parent-of-leaf nodes (PLNs).
+//!
+//! All fields are atomics so in-place PLN edits under the SMO lock can
+//! race with optimistic readers; readers tolerate torn values and
+//! validate against the SMO version afterwards.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// One parent-of-leaf node: sorted `(separator, leaf offset)` entries.
+pub struct Pln {
+    len: AtomicUsize,
+    keys: Box<[AtomicU64]>,
+    leaves: Box<[AtomicU64]>,
+}
+
+impl Pln {
+    fn new(cap: usize) -> Pln {
+        Pln {
+            len: AtomicUsize::new(0),
+            keys: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            leaves: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Entry count (clamped for torn reads).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire).min(self.keys.len())
+    }
+
+    /// Whether the PLN holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the PLN is at capacity.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len() == self.keys.len()
+    }
+
+    /// Separator of entry `i`.
+    #[inline]
+    pub fn key(&self, i: usize) -> u64 {
+        self.keys[i].load(Ordering::Acquire)
+    }
+
+    /// Leaf offset of entry `i`.
+    #[inline]
+    pub fn leaf(&self, i: usize) -> u64 {
+        self.leaves[i].load(Ordering::Acquire)
+    }
+
+    /// Index of the entry covering `key`: the last separator ≤ `key`,
+    /// clamped to 0 (underflow keys route to the first entry).
+    pub fn route(&self, key: u64) -> usize {
+        let n = self.len();
+        debug_assert!(n > 0);
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if key < self.key(mid) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo.saturating_sub(1)
+    }
+
+    /// Position of the entry pointing at `leaf`, if present.
+    pub fn position_of(&self, leaf: u64) -> Option<usize> {
+        (0..self.len()).find(|&i| self.leaf(i) == leaf)
+    }
+
+    /// Overwrite entry `i` (same key range, new leaf — used by
+    /// replace-on-split).
+    pub fn replace_at(&self, i: usize, key: u64, leaf: u64) {
+        debug_assert!(i < self.len());
+        self.leaves[i].store(leaf, Ordering::Release);
+        self.keys[i].store(key, Ordering::Release);
+    }
+
+    /// Insert `(key, leaf)` keeping sorted order. Returns `false` when
+    /// full (caller rebuilds the snapshot). Caller holds the SMO lock.
+    pub fn insert_sorted(&self, key: u64, leaf: u64) -> bool {
+        let n = self.len();
+        if n == self.keys.len() {
+            return false;
+        }
+        // Find insertion point (first separator greater than key).
+        let mut pos = n;
+        for i in 0..n {
+            if self.key(i) > key {
+                pos = i;
+                break;
+            }
+        }
+        // Shift from the end so readers only ever see valid words.
+        let mut i = n;
+        while i > pos {
+            self.keys[i].store(self.key(i - 1), Ordering::Release);
+            self.leaves[i].store(self.leaf(i - 1), Ordering::Release);
+            i -= 1;
+        }
+        self.keys[pos].store(key, Ordering::Release);
+        self.leaves[pos].store(leaf, Ordering::Release);
+        self.len.store(n + 1, Ordering::Release);
+        true
+    }
+}
+
+/// An immutable-shell snapshot of the routing structure. The shell
+/// (`mins`, PLN count) never changes after construction; PLN contents
+/// mutate in place under the SMO lock until one overflows, which forces
+/// a fresh snapshot.
+pub struct Snapshot {
+    mins: Vec<u64>,
+    plns: Vec<Pln>,
+    pln_cap: usize,
+}
+
+impl Snapshot {
+    /// Build from sorted `(separator, leaf)` entries, filling each PLN
+    /// to half capacity so in-place growth has headroom.
+    pub fn build(entries: &[(u64, u64)], pln_cap: usize) -> Snapshot {
+        assert!(pln_cap >= 2);
+        debug_assert!(entries.windows(2).all(|w| w[0].0 <= w[1].0));
+        if entries.is_empty() {
+            return Snapshot {
+                mins: Vec::new(),
+                plns: Vec::new(),
+                pln_cap,
+            };
+        }
+        let per = (pln_cap / 2).max(1);
+        let mut mins = Vec::new();
+        let mut plns = Vec::new();
+        for group in entries.chunks(per) {
+            let pln = Pln::new(pln_cap);
+            for (i, &(k, l)) in group.iter().enumerate() {
+                pln.keys[i].store(k, Ordering::Relaxed);
+                pln.leaves[i].store(l, Ordering::Relaxed);
+            }
+            pln.len.store(group.len(), Ordering::Release);
+            mins.push(group[0].0);
+            plns.push(pln);
+        }
+        Snapshot {
+            mins,
+            plns,
+            pln_cap,
+        }
+    }
+
+    /// Whether the snapshot routes anything.
+    pub fn is_empty(&self) -> bool {
+        self.plns.is_empty()
+    }
+
+    /// PLN capacity this snapshot was built with.
+    pub fn pln_cap(&self) -> usize {
+        self.pln_cap
+    }
+
+    /// The PLN covering `key` (last PLN whose min ≤ key, clamped to 0).
+    pub fn route_pln(&self, key: u64) -> Option<&Pln> {
+        if self.plns.is_empty() {
+            return None;
+        }
+        let idx = match self.mins.binary_search(&key) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        Some(&self.plns[idx])
+    }
+
+    /// Leaf offset covering `key`.
+    pub fn route(&self, key: u64) -> Option<u64> {
+        let pln = self.route_pln(key)?;
+        if pln.is_empty() {
+            return None;
+        }
+        Some(pln.leaf(pln.route(key)))
+    }
+
+    /// Locate the PLN entry for `leaf`, found via any `key` inside the
+    /// leaf's range (the entry's separator is ≤ `key` and the entry
+    /// lives in the PLN that routes `key`).
+    pub fn find_entry_for(&self, key: u64, leaf: u64) -> Option<(&Pln, usize)> {
+        let pln = self.route_pln(key)?;
+        pln.position_of(leaf).map(|i| (pln, i))
+    }
+
+    /// All `(separator, leaf)` entries in global order.
+    pub fn all_entries(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for pln in &self.plns {
+            for i in 0..pln.len() {
+                out.push((pln.key(i), pln.leaf(i)));
+            }
+        }
+        out
+    }
+
+    /// The chain-order predecessor of the entry at (`pln`, `idx`), i.e.
+    /// the previous leaf in global order, if any.
+    pub fn predecessor(&self, sep: u64, leaf: u64) -> Option<u64> {
+        // Walk PLNs in order, tracking the previous leaf.
+        let mut prev = None;
+        for pln in &self.plns {
+            for i in 0..pln.len() {
+                if pln.key(i) == sep && pln.leaf(i) == leaf {
+                    return prev;
+                }
+                prev = Some(pln.leaf(i));
+            }
+        }
+        prev
+    }
+
+    /// Approximate DRAM footprint in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        (self.mins.len() * 8 + self.plns.len() * (self.pln_cap * 16 + 64)) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(entries: &[(u64, u64)]) -> Snapshot {
+        Snapshot::build(entries, 4)
+    }
+
+    #[test]
+    fn build_and_route() {
+        let s = snap(&[(0, 100), (10, 101), (20, 102), (30, 103), (40, 104)]);
+        // per-PLN fill = 2, so 3 PLNs.
+        assert_eq!(s.plns.len(), 3);
+        assert_eq!(s.route(0), Some(100));
+        assert_eq!(s.route(5), Some(100));
+        assert_eq!(s.route(10), Some(101));
+        assert_eq!(s.route(25), Some(102));
+        assert_eq!(s.route(1000), Some(104));
+    }
+
+    #[test]
+    fn underflow_routes_to_first_leaf() {
+        let s = snap(&[(50, 7), (60, 8)]);
+        assert_eq!(s.route(1), Some(7));
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let s = snap(&[]);
+        assert!(s.is_empty());
+        assert_eq!(s.route(5), None);
+    }
+
+    #[test]
+    fn pln_insert_sorted_and_full() {
+        let s = snap(&[(0, 1), (10, 2)]); // one PLN, cap 4, len 2
+        let pln = &s.plns[0];
+        assert!(pln.insert_sorted(5, 9));
+        assert_eq!(pln.key(1), 5);
+        assert_eq!(pln.leaf(1), 9);
+        assert!(pln.insert_sorted(20, 10));
+        assert!(pln.is_full());
+        assert!(!pln.insert_sorted(30, 11), "full PLN must refuse");
+    }
+
+    #[test]
+    fn replace_at_preserves_order() {
+        let s = snap(&[(0, 1), (10, 2)]);
+        let pln = &s.plns[0];
+        pln.replace_at(1, 12, 99);
+        assert_eq!(s.route(15), Some(99));
+        assert_eq!(s.route(11), Some(1), "11 < new separator 12");
+    }
+
+    #[test]
+    fn predecessor_walks_global_order() {
+        let s = snap(&[(0, 100), (10, 101), (20, 102), (30, 103), (40, 104)]);
+        assert_eq!(s.predecessor(0, 100), None);
+        assert_eq!(s.predecessor(10, 101), Some(100));
+        assert_eq!(s.predecessor(20, 102), Some(101)); // crosses PLN boundary
+        assert_eq!(s.predecessor(40, 104), Some(103));
+    }
+
+    #[test]
+    fn all_entries_roundtrip() {
+        let e = vec![(0u64, 1u64), (5, 2), (9, 3)];
+        assert_eq!(snap(&e).all_entries(), e);
+    }
+}

@@ -1,0 +1,95 @@
+//! Pool configuration.
+
+use crate::latency::LatencyModel;
+
+/// How persistence instructions behave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistenceMode {
+    /// Full emulation: `clwb`/`ntstore` copy data into the persisted
+    /// image, fences order and count, crashes discard unflushed data.
+    Real,
+    /// Persistence instructions are no-ops (beyond being counted). This
+    /// turns the pool into plain DRAM and is used by the "PM index on
+    /// DRAM" experiment (E13). Crash simulation is not meaningful in
+    /// this mode.
+    Elided,
+}
+
+/// Configuration for a [`crate::PmPool`].
+#[derive(Debug, Clone)]
+pub struct PmConfig {
+    /// Persistence behaviour, see [`PersistenceMode`].
+    pub persistence: PersistenceMode,
+    /// Latency charged per media access; `LatencyModel::off()` by default
+    /// so unit tests run at full speed.
+    pub latency: LatencyModel,
+    /// When `Some(seed)`, every unflushed store is immediately persisted
+    /// with probability 1/4, deterministically derived from the seed,
+    /// the offset and a per-pool counter. This models spontaneous cache
+    /// evictions: correct recovery code must tolerate unflushed data
+    /// both reaching and not reaching the media.
+    pub eviction_chaos: Option<u64>,
+}
+
+impl Default for PmConfig {
+    fn default() -> Self {
+        Self {
+            persistence: PersistenceMode::Real,
+            latency: LatencyModel::off(),
+            eviction_chaos: None,
+        }
+    }
+}
+
+impl PmConfig {
+    /// Full emulation with latency disabled (the default).
+    pub fn real() -> Self {
+        Self::default()
+    }
+
+    /// DRAM mode: persistence elided, no latency.
+    pub fn dram() -> Self {
+        Self {
+            persistence: PersistenceMode::Elided,
+            ..Self::default()
+        }
+    }
+
+    /// Full emulation with the calibrated Optane-like latency model —
+    /// what the benchmark harness uses.
+    pub fn optane_like() -> Self {
+        Self {
+            latency: LatencyModel::optane_like(),
+            ..Self::default()
+        }
+    }
+
+    /// Enable eviction chaos with the given seed (crash tests).
+    pub fn with_eviction_chaos(mut self, seed: u64) -> Self {
+        self.eviction_chaos = Some(seed);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_real_without_latency() {
+        let c = PmConfig::default();
+        assert_eq!(c.persistence, PersistenceMode::Real);
+        assert!(!c.latency.enabled());
+        assert!(c.eviction_chaos.is_none());
+    }
+
+    #[test]
+    fn dram_mode_elides_persistence() {
+        assert_eq!(PmConfig::dram().persistence, PersistenceMode::Elided);
+    }
+
+    #[test]
+    fn optane_like_enables_latency() {
+        assert!(PmConfig::optane_like().latency.enabled());
+    }
+}

@@ -1,0 +1,760 @@
+//! The emulated PM device: a pool with a CPU image and a persisted image.
+
+use std::cell::Cell;
+use std::mem::{align_of, size_of, MaybeUninit};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::config::{PersistenceMode, PmConfig};
+use crate::off::PmOff;
+use crate::stats::{PmStats, PmStatsSnapshot};
+
+/// CPU cache-line size; `clwb` operates at this granularity.
+pub const CACHELINE: usize = 64;
+/// DCPMM internal media granularity (the "XPLine"): every media access
+/// moves this many bytes regardless of the request size.
+pub const MEDIA_BLOCK: usize = 256;
+/// First bytes of every pool reserved for application root pointers
+/// (the moral equivalent of PMDK's root object).
+pub const ROOT_AREA: u64 = 4096;
+
+/// Marker for plain-old-data types that may live in persistent memory.
+///
+/// # Safety
+///
+/// Implementors must guarantee:
+/// * `T` is `Copy` and has no padding bytes (every byte is initialized),
+/// * `size_of::<T>()` is a multiple of 8 and `align_of::<T>() <= 8`,
+/// * any bit pattern read back from PM is a valid `T` (no enums with
+///   invalid discriminants, no references, no niches).
+pub unsafe trait PmSafe: Copy {}
+
+unsafe impl PmSafe for u64 {}
+unsafe impl PmSafe for i64 {}
+unsafe impl PmSafe for [u8; 8] {}
+unsafe impl PmSafe for [u8; 16] {}
+unsafe impl PmSafe for [u8; 32] {}
+unsafe impl PmSafe for [u64; 2] {}
+unsafe impl PmSafe for [u64; 4] {}
+
+/// Number of entries in the per-thread direct-mapped media-block cache
+/// that stands in for the CPU cache hierarchy when accounting media
+/// reads. 512 blocks × 256 B = 128 KiB of modelled cache per thread.
+const BLOCK_CACHE_SLOTS: usize = 512;
+
+thread_local! {
+    /// Direct-mapped cache of recently touched media blocks, tagged with
+    /// the owning pool id so multiple pools do not alias. Entry format:
+    /// `(pool_id << 40) | (block + 1)`; 0 means empty.
+    static BLOCK_CACHE: Cell<[u64; BLOCK_CACHE_SLOTS]> = const { Cell::new([0; BLOCK_CACHE_SLOTS]) };
+    /// Last media block touched by this thread (for the sequential-access
+    /// latency discount), same tag format.
+    static LAST_BLOCK: Cell<u64> = const { Cell::new(0) };
+}
+
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
+
+/// An emulated persistent-memory pool.
+///
+/// The pool address space is `[0, len)`, byte-addressed via offsets (see
+/// [`PmOff`]). Loads and stores observe the *CPU image*; only data moved
+/// to the *persisted image* by [`PmPool::clwb`] / [`PmPool::ntstore_u64`]
+/// survives [`PmPool::crash`].
+///
+/// All accessors take `&self`: the images are arrays of `AtomicU64`, and
+/// every access compiles to a plain load/store with the requested
+/// ordering. Cross-thread visibility of `Relaxed` data accesses must be
+/// established by the caller's own synchronization (locks, acquiring
+/// version words, …), exactly as on real hardware.
+pub struct PmPool {
+    cpu: Box<[AtomicU64]>,
+    persisted: Box<[AtomicU64]>,
+    len: usize,
+    cfg: PmConfig,
+    stats: PmStats,
+    id: u64,
+    chaos_ctr: AtomicU64,
+}
+
+impl PmPool {
+    /// Create a pool of `len` bytes (rounded up to a media block),
+    /// zero-initialized and fully persisted (a fresh device).
+    pub fn new(len: usize, cfg: PmConfig) -> Self {
+        let len = crate::align_up(len.max(MEDIA_BLOCK) as u64, MEDIA_BLOCK as u64) as usize;
+        let words = len / 8;
+        let alloc = |n: usize| -> Box<[AtomicU64]> { (0..n).map(|_| AtomicU64::new(0)).collect() };
+        Self {
+            cpu: alloc(words),
+            persisted: alloc(words),
+            len,
+            cfg,
+            stats: PmStats::new(),
+            id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
+            chaos_ctr: AtomicU64::new(0),
+        }
+    }
+
+    /// Pool size in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the pool is empty (never true in practice; pools round up
+    /// to at least one media block).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The pool configuration.
+    #[inline]
+    pub fn config(&self) -> &PmConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn word(&self, off: u64) -> &AtomicU64 {
+        debug_assert_eq!(off % 8, 0, "unaligned u64 access at {off:#x}");
+        debug_assert!(
+            (off as usize) + 8 <= self.len,
+            "PM access out of bounds: {off:#x} + 8 > {:#x}",
+            self.len
+        );
+        &self.cpu[(off / 8) as usize]
+    }
+
+    #[inline]
+    fn media_block_of(off: u64) -> u64 {
+        off / MEDIA_BLOCK as u64
+    }
+
+    #[inline]
+    fn blocks_in(off: u64, len: usize) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let first = Self::media_block_of(off);
+        let last = Self::media_block_of(off + len as u64 - 1);
+        last - first + 1
+    }
+
+    #[inline]
+    fn block_tag(&self, block: u64) -> u64 {
+        (self.id << 40) | (block + 1)
+    }
+
+    /// Account (and charge latency for) a read of `len` bytes at `off`,
+    /// consulting the modelled per-thread cache for media residency.
+    #[inline]
+    fn account_read(&self, off: u64, len: usize) {
+        let first = Self::media_block_of(off);
+        let nblocks = Self::blocks_in(off, len);
+        let mut missed = 0u64;
+        let mut sequential = true;
+        BLOCK_CACHE.with(|cache| {
+            let mut c = cache.get();
+            let last = LAST_BLOCK.with(|l| l.get());
+            for b in first..first + nblocks {
+                let tag = self.block_tag(b);
+                let slot = (b as usize) & (BLOCK_CACHE_SLOTS - 1);
+                if c[slot] != tag {
+                    c[slot] = tag;
+                    missed += 1;
+                    if tag != last && tag != last + 1 {
+                        sequential = false;
+                    }
+                }
+            }
+            LAST_BLOCK.with(|l| l.set(self.block_tag(first + nblocks - 1)));
+            cache.set(c);
+        });
+        self.stats.count_read(len as u64, missed);
+        if missed > 0 {
+            self.cfg.latency.charge_read(missed, sequential);
+        }
+    }
+
+    /// Account a write of `len` bytes (store-buffer level; media traffic
+    /// is accounted at flush time). Populates the modelled cache
+    /// (write-allocate).
+    #[inline]
+    fn account_write(&self, off: u64, len: usize) {
+        let first = Self::media_block_of(off);
+        let nblocks = Self::blocks_in(off, len);
+        BLOCK_CACHE.with(|cache| {
+            let mut c = cache.get();
+            for b in first..first + nblocks {
+                c[(b as usize) & (BLOCK_CACHE_SLOTS - 1)] = self.block_tag(b);
+            }
+            cache.set(c);
+        });
+        self.stats.count_write(len as u64);
+    }
+
+    /// Persist one aligned word into the persisted image (8-byte failure
+    /// atomicity: words are never torn).
+    #[inline]
+    fn persist_word(&self, off: u64) {
+        let v = self.cpu[(off / 8) as usize].load(Ordering::Relaxed);
+        self.persisted[(off / 8) as usize].store(v, Ordering::Relaxed);
+    }
+
+    /// Eviction chaos: maybe spontaneously persist the word just written.
+    #[inline]
+    fn maybe_evict(&self, off: u64) {
+        if let Some(seed) = self.cfg.eviction_chaos {
+            let n = self.chaos_ctr.fetch_add(1, Ordering::Relaxed);
+            // SplitMix64-style mix of (seed, off, n).
+            let mut x = seed ^ off.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ n;
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 27;
+            if x & 3 == 0 {
+                self.persist_word(off & !7);
+            }
+        }
+    }
+
+    // ----- plain data accesses -------------------------------------------
+
+    /// Load an aligned `u64` (relaxed; pair with your own synchronization).
+    #[inline]
+    pub fn read_u64(&self, off: u64) -> u64 {
+        self.account_read(off, 8);
+        self.word(off).load(Ordering::Relaxed)
+    }
+
+    /// Store an aligned `u64` (relaxed). Volatile until flushed.
+    #[inline]
+    pub fn write_u64(&self, off: u64, v: u64) {
+        self.account_write(off, 8);
+        self.word(off).store(v, Ordering::Relaxed);
+        self.maybe_evict(off);
+    }
+
+    /// Load an aligned `u64` with an explicit memory ordering.
+    #[inline]
+    pub fn load_u64(&self, off: u64, order: Ordering) -> u64 {
+        self.account_read(off, 8);
+        self.word(off).load(order)
+    }
+
+    /// Store an aligned `u64` with an explicit memory ordering.
+    #[inline]
+    pub fn store_u64(&self, off: u64, v: u64, order: Ordering) {
+        self.account_write(off, 8);
+        self.word(off).store(v, order);
+        self.maybe_evict(off);
+    }
+
+    /// Compare-and-exchange on an aligned `u64`.
+    #[inline]
+    pub fn cas_u64(&self, off: u64, current: u64, new: u64) -> Result<u64, u64> {
+        self.account_write(off, 8);
+        let r = self
+            .word(off)
+            .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire);
+        if r.is_ok() {
+            self.maybe_evict(off);
+        }
+        r
+    }
+
+    /// Atomic fetch-or on an aligned `u64`.
+    #[inline]
+    pub fn fetch_or_u64(&self, off: u64, bits: u64, order: Ordering) -> u64 {
+        self.account_write(off, 8);
+        let r = self.word(off).fetch_or(bits, order);
+        self.maybe_evict(off);
+        r
+    }
+
+    /// Atomic fetch-and on an aligned `u64`.
+    #[inline]
+    pub fn fetch_and_u64(&self, off: u64, bits: u64, order: Ordering) -> u64 {
+        self.account_write(off, 8);
+        let r = self.word(off).fetch_and(bits, order);
+        self.maybe_evict(off);
+        r
+    }
+
+    /// Atomic fetch-add on an aligned `u64`.
+    #[inline]
+    pub fn fetch_add_u64(&self, off: u64, v: u64, order: Ordering) -> u64 {
+        self.account_write(off, 8);
+        let r = self.word(off).fetch_add(v, order);
+        self.maybe_evict(off);
+        r
+    }
+
+    /// Read `dst.len()` bytes starting at `off` (any alignment).
+    pub fn read_bytes(&self, off: u64, dst: &mut [u8]) {
+        if dst.is_empty() {
+            return;
+        }
+        self.account_read(off, dst.len());
+        for (o, byte) in (off..).zip(dst.iter_mut()) {
+            let w = self.cpu[(o / 8) as usize].load(Ordering::Relaxed);
+            *byte = (w >> ((o % 8) * 8)) as u8;
+        }
+    }
+
+    /// Write `src` starting at `off` (any alignment). Volatile until
+    /// flushed. Unaligned edges use word read-modify-write; concurrent
+    /// writers must not share a word, as on real hardware.
+    pub fn write_bytes(&self, off: u64, src: &[u8]) {
+        if src.is_empty() {
+            return;
+        }
+        self.account_write(off, src.len());
+        debug_assert!(
+            (off as usize) + src.len() <= self.len,
+            "PM write out of bounds"
+        );
+        let mut o = off;
+        let mut i = 0usize;
+        // Leading partial word.
+        while i < src.len() && !o.is_multiple_of(8) {
+            self.rmw_byte(o, src[i]);
+            o += 1;
+            i += 1;
+        }
+        // Aligned middle.
+        while i + 8 <= src.len() {
+            let w = u64::from_le_bytes(src[i..i + 8].try_into().unwrap());
+            self.cpu[(o / 8) as usize].store(w, Ordering::Relaxed);
+            self.maybe_evict(o);
+            o += 8;
+            i += 8;
+        }
+        // Trailing partial word.
+        while i < src.len() {
+            self.rmw_byte(o, src[i]);
+            o += 1;
+            i += 1;
+        }
+    }
+
+    #[inline]
+    fn rmw_byte(&self, off: u64, b: u8) {
+        let idx = (off / 8) as usize;
+        let shift = (off % 8) * 8;
+        let w = self.cpu[idx].load(Ordering::Relaxed);
+        let w = (w & !(0xffu64 << shift)) | ((b as u64) << shift);
+        self.cpu[idx].store(w, Ordering::Relaxed);
+        self.maybe_evict(off & !7);
+    }
+
+    /// Typed read of a [`PmSafe`] value at an 8-aligned offset.
+    pub fn read<T: PmSafe>(&self, off: PmOff<T>) -> T {
+        let size = size_of::<T>();
+        debug_assert_eq!(size % 8, 0, "PmSafe types must be a multiple of 8 bytes");
+        debug_assert!(align_of::<T>() <= 8);
+        debug_assert_eq!(off.raw() % 8, 0);
+        self.account_read(off.raw(), size);
+        let mut buf = MaybeUninit::<T>::uninit();
+        let dst = buf.as_mut_ptr() as *mut u64;
+        let base = (off.raw() / 8) as usize;
+        for i in 0..size / 8 {
+            let w = self.cpu[base + i].load(Ordering::Relaxed);
+            // SAFETY: dst points at size/8 u64 slots inside `buf`.
+            unsafe { dst.add(i).write_unaligned(w) };
+        }
+        // SAFETY: PmSafe guarantees every bit pattern is a valid T.
+        unsafe { buf.assume_init() }
+    }
+
+    /// Typed write of a [`PmSafe`] value at an 8-aligned offset.
+    /// Volatile until flushed.
+    pub fn write<T: PmSafe>(&self, off: PmOff<T>, v: &T) {
+        let size = size_of::<T>();
+        debug_assert_eq!(size % 8, 0);
+        debug_assert_eq!(off.raw() % 8, 0);
+        self.account_write(off.raw(), size);
+        let src = v as *const T as *const u64;
+        let base = (off.raw() / 8) as usize;
+        for i in 0..size / 8 {
+            // SAFETY: PmSafe guarantees T has no padding, so all bytes
+            // are initialized and readable as u64 words.
+            let w = unsafe { src.add(i).read_unaligned() };
+            self.cpu[base + i].store(w, Ordering::Relaxed);
+        }
+        self.maybe_evict(off.raw());
+    }
+
+    // ----- persistence primitives ----------------------------------------
+
+    /// Write back the cachelines covering `[off, off + len)` to the
+    /// persisted image (models `clwb`/`clflushopt` followed by the next
+    /// fence; the emulator persists eagerly, which is one of the legal
+    /// executions).
+    pub fn clwb(&self, off: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
+        self.stats.count_clwb();
+        if self.cfg.persistence == PersistenceMode::Elided {
+            return;
+        }
+        let start = off & !(CACHELINE as u64 - 1);
+        let end = crate::align_up(off + len as u64, CACHELINE as u64).min(self.len as u64);
+        let mut o = start;
+        while o < end {
+            self.persist_word(o);
+            o += 8;
+        }
+        let blocks = Self::blocks_in(start, (end - start) as usize);
+        self.stats.count_media_write(blocks);
+        self.cfg.latency.charge_write(blocks, false);
+    }
+
+    /// `clwb` + `sfence`: the common "persist this range" idiom.
+    #[inline]
+    pub fn persist(&self, off: u64, len: usize) {
+        self.clwb(off, len);
+        self.sfence();
+    }
+
+    /// Non-temporal store of an aligned `u64`: reaches both the CPU image
+    /// and the persisted image (durable at the next fence; persisted
+    /// eagerly here).
+    pub fn ntstore_u64(&self, off: u64, v: u64) {
+        self.account_write(off, 8);
+        self.stats.count_ntstore();
+        self.word(off).store(v, Ordering::Relaxed);
+        if self.cfg.persistence == PersistenceMode::Real {
+            self.persist_word(off);
+            self.stats.count_media_write(1);
+            self.cfg.latency.charge_write(1, true);
+        }
+    }
+
+    /// Store fence. Ordering is inherent in the emulator's eager
+    /// persistence, so this only counts (and compiles to a real fence so
+    /// cross-thread orderings hold).
+    #[inline]
+    pub fn sfence(&self) {
+        self.stats.count_fence();
+        std::sync::atomic::fence(Ordering::SeqCst);
+    }
+
+    // ----- root area -------------------------------------------------------
+
+    /// Read root-area slot `slot` (8 bytes each, `slot < 512`).
+    #[inline]
+    pub fn read_root(&self, slot: u64) -> u64 {
+        assert!(slot * 8 < ROOT_AREA, "root slot out of range");
+        self.read_u64(slot * 8)
+    }
+
+    /// Write and persist root-area slot `slot`.
+    pub fn write_root(&self, slot: u64, v: u64) {
+        assert!(slot * 8 < ROOT_AREA, "root slot out of range");
+        self.write_u64(slot * 8, v);
+        self.persist(slot * 8, 8);
+    }
+
+    // ----- crash simulation ------------------------------------------------
+
+    /// Simulate a power failure: the CPU image is replaced by the
+    /// persisted image, discarding every store that was not flushed.
+    ///
+    /// The pool must be quiesced (no concurrent accesses); this is a
+    /// testing facility, mirroring how one would power-cycle a machine,
+    /// not something a live workload can race with.
+    pub fn crash(&self) {
+        for i in 0..self.cpu.len() {
+            let v = self.persisted[i].load(Ordering::Relaxed);
+            self.cpu[i].store(v, Ordering::Relaxed);
+        }
+        std::sync::atomic::fence(Ordering::SeqCst);
+    }
+
+    /// Testing helper: force the entire CPU image to be persisted, as if
+    /// every line had been flushed. Useful to establish a clean durable
+    /// baseline after a prefill without paying per-line flush costs.
+    pub fn persist_all(&self) {
+        for i in 0..self.cpu.len() {
+            let v = self.cpu[i].load(Ordering::Relaxed);
+            self.persisted[i].store(v, Ordering::Relaxed);
+        }
+        std::sync::atomic::fence(Ordering::SeqCst);
+    }
+
+    // ----- statistics --------------------------------------------------------
+
+    /// Aggregate counters since creation or the last [`PmPool::reset_stats`].
+    pub fn stats(&self) -> PmStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Zero all counters.
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+}
+
+impl std::fmt::Debug for PmPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmPool")
+            .field("len", &self.len)
+            .field("persistence", &self.cfg.persistence)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PmConfig;
+
+    fn pool(len: usize) -> PmPool {
+        PmPool::new(len, PmConfig::real())
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let p = pool(4096 + 1024);
+        p.write_u64(ROOT_AREA, 0xDEAD_BEEF);
+        assert_eq!(p.read_u64(ROOT_AREA), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn bytes_roundtrip_unaligned() {
+        let p = pool(8192);
+        let src: Vec<u8> = (0..100).collect();
+        p.write_bytes(ROOT_AREA + 3, &src);
+        let mut dst = vec![0u8; 100];
+        p.read_bytes(ROOT_AREA + 3, &mut dst);
+        assert_eq!(src, dst);
+        // Neighbouring bytes untouched.
+        let mut edge = [0u8; 1];
+        p.read_bytes(ROOT_AREA + 2, &mut edge);
+        assert_eq!(edge[0], 0);
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        #[repr(C)]
+        #[derive(Copy, Clone, PartialEq, Debug)]
+        struct Rec {
+            k: u64,
+            v: u64,
+        }
+        unsafe impl PmSafe for Rec {}
+        let p = pool(8192);
+        let off: PmOff<Rec> = PmOff::new(ROOT_AREA + 64);
+        p.write(off, &Rec { k: 7, v: 9 });
+        assert_eq!(p.read(off), Rec { k: 7, v: 9 });
+    }
+
+    #[test]
+    fn unflushed_data_does_not_survive_crash() {
+        let p = pool(8192);
+        // Distinct cachelines: clwb of the first must not persist the second.
+        p.write_u64(ROOT_AREA, 1);
+        p.write_u64(ROOT_AREA + CACHELINE as u64, 2);
+        p.persist(ROOT_AREA, 8); // only the first line
+        p.crash();
+        assert_eq!(p.read_u64(ROOT_AREA), 1);
+        assert_eq!(
+            p.read_u64(ROOT_AREA + CACHELINE as u64),
+            0,
+            "unflushed store must vanish"
+        );
+    }
+
+    #[test]
+    fn clwb_persists_whole_cachelines() {
+        let p = pool(8192);
+        // Two words in the same cacheline; flushing a 1-byte range still
+        // writes back the whole line.
+        p.write_u64(ROOT_AREA, 10);
+        p.write_u64(ROOT_AREA + 8, 20);
+        p.persist(ROOT_AREA + 8, 1);
+        p.crash();
+        assert_eq!(p.read_u64(ROOT_AREA), 10);
+        assert_eq!(p.read_u64(ROOT_AREA + 8), 20);
+    }
+
+    #[test]
+    fn ntstore_is_durable() {
+        let p = pool(8192);
+        p.ntstore_u64(ROOT_AREA, 42);
+        p.sfence();
+        p.crash();
+        assert_eq!(p.read_u64(ROOT_AREA), 42);
+    }
+
+    #[test]
+    fn crash_is_idempotent_and_repeatable() {
+        let p = pool(8192);
+        p.write_u64(ROOT_AREA, 5);
+        p.persist(ROOT_AREA, 8);
+        p.write_u64(ROOT_AREA, 6); // not persisted
+        p.crash();
+        assert_eq!(p.read_u64(ROOT_AREA), 5);
+        p.crash();
+        assert_eq!(p.read_u64(ROOT_AREA), 5);
+    }
+
+    #[test]
+    fn elided_mode_skips_shadow() {
+        let p = PmPool::new(8192, PmConfig::dram());
+        p.write_u64(ROOT_AREA, 9);
+        p.persist(ROOT_AREA, 8);
+        // In DRAM mode the persisted image is never updated...
+        p.crash();
+        // ...so a crash wipes even "persisted" data back to zero.
+        assert_eq!(p.read_u64(ROOT_AREA), 0);
+        // But stats still counted the instructions.
+        let s = p.stats();
+        assert_eq!(s.clwb, 1);
+        assert_eq!(s.fence, 1);
+    }
+
+    #[test]
+    fn stats_media_granularity() {
+        let p = pool(1 << 20);
+        p.reset_stats();
+        // Read one u64: one media block (cold cache).
+        let target = 512 * 1024;
+        p.read_u64(target);
+        let s = p.stats();
+        assert_eq!(s.read_ops, 1);
+        assert_eq!(s.read_bytes, 8);
+        assert_eq!(s.media_read_bytes, MEDIA_BLOCK as u64);
+        // Second read of the same block: cache hit, no extra media traffic.
+        p.read_u64(target + 8);
+        let s2 = p.stats();
+        assert_eq!(s2.media_read_bytes, MEDIA_BLOCK as u64);
+        assert_eq!(s2.read_bytes, 16);
+    }
+
+    #[test]
+    fn flush_media_write_accounting() {
+        let p = pool(1 << 20);
+        p.reset_stats();
+        p.write_u64(ROOT_AREA, 1);
+        p.persist(ROOT_AREA, 8);
+        let s = p.stats();
+        assert_eq!(s.media_write_bytes, MEDIA_BLOCK as u64);
+        // A flush spanning two media blocks counts both.
+        p.write_bytes(MEDIA_BLOCK as u64 * 8 - 4, &[1u8; 8]);
+        p.persist(MEDIA_BLOCK as u64 * 8 - 4, 8);
+        let s2 = p.stats();
+        assert_eq!(s2.media_write_bytes, 3 * MEDIA_BLOCK as u64);
+    }
+
+    #[test]
+    fn root_slots() {
+        let p = pool(8192);
+        p.write_root(3, 777);
+        p.crash();
+        assert_eq!(p.read_root(3), 777);
+    }
+
+    #[test]
+    #[should_panic(expected = "root slot out of range")]
+    fn root_slot_bounds() {
+        let p = pool(8192);
+        p.write_root(512, 1);
+    }
+
+    #[test]
+    fn eviction_chaos_persists_some_unflushed_words() {
+        let p = PmPool::new(1 << 16, PmConfig::real().with_eviction_chaos(42));
+        for i in 0..1000u64 {
+            p.write_u64(ROOT_AREA + i * 8, i + 1);
+        }
+        p.crash();
+        let survived = (0..1000u64)
+            .filter(|&i| p.read_u64(ROOT_AREA + i * 8) != 0)
+            .count();
+        // Roughly a quarter should have been spontaneously evicted:
+        // definitely some, definitely not all.
+        assert!(survived > 50, "survived={survived}");
+        assert!(survived < 950, "survived={survived}");
+    }
+
+    #[test]
+    fn concurrent_counting_and_access() {
+        let p = std::sync::Arc::new(pool(1 << 20));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let p = p.clone();
+                std::thread::spawn(move || {
+                    let base = ROOT_AREA + t * 65536;
+                    for i in 0..1000u64 {
+                        p.write_u64(base + i * 8, i);
+                        p.persist(base + i * 8, 8);
+                    }
+                    for i in 0..1000u64 {
+                        assert_eq!(p.read_u64(base + i * 8), i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = p.stats();
+        assert_eq!(s.write_ops, 4000);
+        assert_eq!(s.read_ops, 4000);
+        assert_eq!(s.clwb, 4000);
+    }
+
+    #[test]
+    fn clwb_clamps_at_pool_end() {
+        let p = pool(4096 + 256);
+        let last = p.len() as u64 - 8;
+        p.write_u64(last, 77);
+        // Flush range extends past the end; must clamp, not panic.
+        p.persist(last, 8);
+        p.crash();
+        assert_eq!(p.read_u64(last), 77);
+    }
+
+    #[test]
+    fn empty_byte_ops_are_noops() {
+        let p = pool(8192);
+        p.write_bytes(ROOT_AREA, &[]);
+        let mut buf = [0u8; 0];
+        p.read_bytes(ROOT_AREA, &mut buf);
+        p.clwb(ROOT_AREA, 0);
+        assert_eq!(p.stats().clwb, 0, "zero-length clwb not counted");
+    }
+
+    #[test]
+    fn persist_all_snapshots_everything() {
+        let p = pool(8192);
+        for i in 0..64u64 {
+            p.write_u64(ROOT_AREA + i * 8, i + 1);
+        }
+        p.persist_all();
+        p.write_u64(ROOT_AREA, 999); // unflushed overwrite
+        p.crash();
+        assert_eq!(p.read_u64(ROOT_AREA), 1);
+        assert_eq!(p.read_u64(ROOT_AREA + 63 * 8), 64);
+    }
+
+    #[test]
+    fn pool_len_rounds_to_media_block() {
+        let p = PmPool::new(1000, PmConfig::real());
+        assert_eq!(p.len() % MEDIA_BLOCK, 0);
+        assert!(p.len() >= 1000);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn cas_and_fetch_ops() {
+        let p = pool(8192);
+        p.write_u64(ROOT_AREA, 10);
+        assert_eq!(p.cas_u64(ROOT_AREA, 10, 11), Ok(10));
+        assert_eq!(p.cas_u64(ROOT_AREA, 10, 12), Err(11));
+        assert_eq!(p.fetch_or_u64(ROOT_AREA, 0x100, Ordering::AcqRel), 11);
+        assert_eq!(p.fetch_and_u64(ROOT_AREA, 0xff, Ordering::AcqRel), 0x10b);
+        assert_eq!(p.fetch_add_u64(ROOT_AREA, 1, Ordering::AcqRel), 0x0b);
+        assert_eq!(p.read_u64(ROOT_AREA), 0x0c);
+    }
+}

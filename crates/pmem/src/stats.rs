@@ -1,0 +1,273 @@
+//! Access statistics with striped, cache-padded counters.
+//!
+//! Every PM access is counted twice: once at *software* granularity (the
+//! bytes the program asked for) and once at *media* granularity (the
+//! 256-byte blocks the device actually touches, like DCPMM's XPLine).
+//! The ratio of the two is the read/write amplification the paper
+//! reports; the media totals divided by wall time give the bandwidth
+//! figures.
+//!
+//! A single shared `AtomicU64` per counter would serialize a 40-thread
+//! benchmark on counter cache lines, so counters are striped: each
+//! thread hashes to one of [`N_STRIPES`] cache-padded cells and updates
+//! it with relaxed ordering. Snapshots sum the stripes.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+/// Number of counter stripes. More than any realistic thread count on
+/// the target machines; power of two for cheap masking.
+const N_STRIPES: usize = 64;
+
+/// One stripe worth of counters.
+#[derive(Default)]
+struct Stripe {
+    read_ops: AtomicU64,
+    read_bytes: AtomicU64,
+    write_ops: AtomicU64,
+    write_bytes: AtomicU64,
+    media_read_bytes: AtomicU64,
+    media_write_bytes: AtomicU64,
+    clwb: AtomicU64,
+    ntstore: AtomicU64,
+    fence: AtomicU64,
+}
+
+/// Striped counter set owned by a pool.
+pub(crate) struct PmStats {
+    stripes: Box<[CachePadded<Stripe>]>,
+}
+
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Round-robin stripe assignment: consecutive threads get distinct
+    /// stripes until the stripe count wraps.
+    static THREAD_SLOT: usize =
+        NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed) & (N_STRIPES - 1);
+}
+
+#[inline]
+fn slot() -> usize {
+    THREAD_SLOT.with(|s| *s)
+}
+
+impl PmStats {
+    pub(crate) fn new() -> Self {
+        let stripes = (0..N_STRIPES)
+            .map(|_| CachePadded::new(Stripe::default()))
+            .collect();
+        Self { stripes }
+    }
+
+    #[inline]
+    fn stripe(&self) -> &Stripe {
+        &self.stripes[slot()]
+    }
+
+    #[inline]
+    pub(crate) fn count_read(&self, bytes: u64, media_blocks: u64) {
+        let s = self.stripe();
+        s.read_ops.fetch_add(1, Ordering::Relaxed);
+        s.read_bytes.fetch_add(bytes, Ordering::Relaxed);
+        s.media_read_bytes
+            .fetch_add(media_blocks * super::MEDIA_BLOCK as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn count_write(&self, bytes: u64) {
+        let s = self.stripe();
+        s.write_ops.fetch_add(1, Ordering::Relaxed);
+        s.write_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn count_media_write(&self, media_blocks: u64) {
+        self.stripe()
+            .media_write_bytes
+            .fetch_add(media_blocks * super::MEDIA_BLOCK as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn count_clwb(&self) {
+        self.stripe().clwb.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn count_ntstore(&self) {
+        self.stripe().ntstore.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn count_fence(&self) {
+        self.stripe().fence.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> PmStatsSnapshot {
+        let mut out = PmStatsSnapshot::default();
+        for s in self.stripes.iter() {
+            out.read_ops += s.read_ops.load(Ordering::Relaxed);
+            out.read_bytes += s.read_bytes.load(Ordering::Relaxed);
+            out.write_ops += s.write_ops.load(Ordering::Relaxed);
+            out.write_bytes += s.write_bytes.load(Ordering::Relaxed);
+            out.media_read_bytes += s.media_read_bytes.load(Ordering::Relaxed);
+            out.media_write_bytes += s.media_write_bytes.load(Ordering::Relaxed);
+            out.clwb += s.clwb.load(Ordering::Relaxed);
+            out.ntstore += s.ntstore.load(Ordering::Relaxed);
+            out.fence += s.fence.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    pub(crate) fn reset(&self) {
+        for s in self.stripes.iter() {
+            s.read_ops.store(0, Ordering::Relaxed);
+            s.read_bytes.store(0, Ordering::Relaxed);
+            s.write_ops.store(0, Ordering::Relaxed);
+            s.write_bytes.store(0, Ordering::Relaxed);
+            s.media_read_bytes.store(0, Ordering::Relaxed);
+            s.media_write_bytes.store(0, Ordering::Relaxed);
+            s.clwb.store(0, Ordering::Relaxed);
+            s.ntstore.store(0, Ordering::Relaxed);
+            s.fence.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time aggregate of a pool's counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PmStatsSnapshot {
+    /// Number of load operations issued against PM.
+    pub read_ops: u64,
+    /// Bytes the software asked to read.
+    pub read_bytes: u64,
+    /// Number of store operations issued against PM.
+    pub write_ops: u64,
+    /// Bytes the software asked to write.
+    pub write_bytes: u64,
+    /// Bytes the emulated media served for reads (256 B granularity).
+    pub media_read_bytes: u64,
+    /// Bytes the emulated media absorbed from write-backs (256 B granularity).
+    pub media_write_bytes: u64,
+    /// `clwb`/`clflushopt` instructions issued.
+    pub clwb: u64,
+    /// Non-temporal stores issued.
+    pub ntstore: u64,
+    /// Store fences issued.
+    pub fence: u64,
+}
+
+impl PmStatsSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating, so a
+    /// concurrent reset cannot panic).
+    pub fn since(&self, earlier: &PmStatsSnapshot) -> PmStatsSnapshot {
+        PmStatsSnapshot {
+            read_ops: self.read_ops.saturating_sub(earlier.read_ops),
+            read_bytes: self.read_bytes.saturating_sub(earlier.read_bytes),
+            write_ops: self.write_ops.saturating_sub(earlier.write_ops),
+            write_bytes: self.write_bytes.saturating_sub(earlier.write_bytes),
+            media_read_bytes: self
+                .media_read_bytes
+                .saturating_sub(earlier.media_read_bytes),
+            media_write_bytes: self
+                .media_write_bytes
+                .saturating_sub(earlier.media_write_bytes),
+            clwb: self.clwb.saturating_sub(earlier.clwb),
+            ntstore: self.ntstore.saturating_sub(earlier.ntstore),
+            fence: self.fence.saturating_sub(earlier.fence),
+        }
+    }
+
+    /// Read amplification: media bytes per software byte read.
+    pub fn read_amplification(&self) -> f64 {
+        if self.read_bytes == 0 {
+            0.0
+        } else {
+            self.media_read_bytes as f64 / self.read_bytes as f64
+        }
+    }
+
+    /// Write amplification: media bytes per software byte written.
+    pub fn write_amplification(&self) -> f64 {
+        if self.write_bytes == 0 {
+            0.0
+        } else {
+            self.media_write_bytes as f64 / self.write_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_sums_and_resets() {
+        let st = PmStats::new();
+        st.count_read(8, 1);
+        st.count_read(16, 2);
+        st.count_write(8);
+        st.count_media_write(1);
+        st.count_clwb();
+        st.count_fence();
+        st.count_ntstore();
+        let s = st.snapshot();
+        assert_eq!(s.read_ops, 2);
+        assert_eq!(s.read_bytes, 24);
+        assert_eq!(s.media_read_bytes, 3 * 256);
+        assert_eq!(s.write_ops, 1);
+        assert_eq!(s.write_bytes, 8);
+        assert_eq!(s.media_write_bytes, 256);
+        assert_eq!(s.clwb, 1);
+        assert_eq!(s.fence, 1);
+        assert_eq!(s.ntstore, 1);
+        st.reset();
+        assert_eq!(st.snapshot(), PmStatsSnapshot::default());
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let st = PmStats::new();
+        st.count_read(8, 1);
+        let a = st.snapshot();
+        st.count_read(8, 1);
+        let b = st.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.read_ops, 1);
+        assert_eq!(d.read_bytes, 8);
+    }
+
+    #[test]
+    fn amplification_ratios() {
+        let s = PmStatsSnapshot {
+            read_bytes: 64,
+            media_read_bytes: 256,
+            write_bytes: 8,
+            media_write_bytes: 256,
+            ..Default::default()
+        };
+        assert_eq!(s.read_amplification(), 4.0);
+        assert_eq!(s.write_amplification(), 32.0);
+        assert_eq!(PmStatsSnapshot::default().read_amplification(), 0.0);
+    }
+
+    #[test]
+    fn counting_from_many_threads_is_complete() {
+        let st = std::sync::Arc::new(PmStats::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let st = st.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        st.count_read(8, 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(st.snapshot().read_ops, 8000);
+    }
+}

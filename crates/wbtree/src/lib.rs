@@ -1,0 +1,68 @@
+//! # wbtree — wB+Tree (Chen & Jin, PVLDB 2015)
+//!
+//! A write-atomic, PM-only B+-tree. Its signature idea is avoiding the
+//! key-shifting writes of a sorted node while keeping binary search:
+//!
+//! * **Slot-array indirection + bitmap.** Node entries are unsorted; a
+//!   small *slot array* stores the sorted order of entry indices, and a
+//!   one-word *bitmap* holds an entry-validity bit per slot plus one
+//!   *slot-array-valid* flag bit. Binary search runs through the slot
+//!   array.
+//! * **Write-atomic node updates.** An insert (1) writes the record to
+//!   a free entry and persists it, (2) atomically clears the
+//!   slot-array-valid bit, (3) rewrites the slot array, (4) atomically
+//!   publishes the new bitmap (entry bit + valid flag) — four
+//!   flush/fence rounds, which is exactly why wB+Tree pays more PM
+//!   writes per insert than FPTree in the evaluation. A crash leaves
+//!   either the old state or a node whose slot array is marked invalid
+//!   and is reconstructed from the bitmap and keys.
+//! * **PM-only architecture.** Inner nodes live in PM too (same node
+//!   format with child pointers), so traversals pay PM latency at every
+//!   level — the main reason the hybrid FPTree outruns it for lookups.
+//! * **Single-threaded.** As in the original paper and the evaluation,
+//!   wB+Tree has no concurrency control of its own; [`WbTree`] wraps
+//!   the core in a mutex so the common harness can drive it, and the
+//!   benchmarks run it single-threaded.
+//!
+//! **Recovery deviation (documented in DESIGN.md):** the original paper
+//! logs split operations; this implementation instead rebuilds inner
+//! nodes from the persistent leaf chain on recovery (and garbage-
+//! collects unreachable nodes), trading a longer recovery for a much
+//! simpler multi-level SMO story. Runtime write amplification — the
+//! property the evaluation measures — is unaffected.
+
+mod node;
+mod tree;
+
+pub use node::WbLayout;
+pub use tree::WbTree;
+
+/// Tuning knobs. Default 31 entries per node (~544-byte nodes, in the
+/// several-cacheline range the original paper evaluates).
+#[derive(Debug, Clone, Copy)]
+pub struct WbTreeConfig {
+    /// Entries per node (leaf and inner), max 62.
+    pub node_entries: usize,
+    /// Maintain the slot array (the paper's *slot+bitmap* variant,
+    /// binary search, 4 fence rounds per insert). `false` selects the
+    /// *bitmap-only* variant: linear search, 2 fence rounds — the
+    /// original paper's own ablation, reproduced as experiment E15.
+    pub use_slot_array: bool,
+}
+
+impl Default for WbTreeConfig {
+    fn default() -> Self {
+        Self {
+            node_entries: 31,
+            use_slot_array: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_config() {
+        assert_eq!(super::WbTreeConfig::default().node_entries, 31);
+    }
+}

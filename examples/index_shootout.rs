@@ -1,0 +1,94 @@
+//! Head-to-head comparison of all five indexes using the PiBench API:
+//! the scenario from the paper's introduction — an OLTP-ish mixed
+//! workload over a prefilled table, on emulated Optane-like PM.
+//!
+//! ```sh
+//! cargo run --release --example index_shootout
+//! ```
+
+use std::sync::Arc;
+
+use pm_index_bench::bztree::{BzTree, BzTreeConfig};
+use pm_index_bench::dram_index::DramTree;
+use pm_index_bench::fptree::{FpTree, FpTreeConfig};
+use pm_index_bench::index_api::RangeIndex;
+use pm_index_bench::nvtree::{NvTree, NvTreeConfig};
+use pm_index_bench::pibench::report::Table;
+use pm_index_bench::pibench::{prefill, run, BenchConfig, Distribution, KeySpace, OpMix};
+use pm_index_bench::pmalloc::{AllocMode, PmAllocator};
+use pm_index_bench::pmem::{PmConfig, PmPool};
+use pm_index_bench::wbtree::{WbTree, WbTreeConfig};
+
+const RECORDS: u64 = 200_000;
+const OPS: u64 = 200_000;
+
+fn build(kind: &str) -> (Arc<dyn RangeIndex>, Option<Arc<PmPool>>) {
+    if kind == "dram-btree" {
+        return (Arc::new(DramTree::new()), None);
+    }
+    let pool = Arc::new(PmPool::new(256 << 20, PmConfig::optane_like()));
+    let alloc = PmAllocator::format(pool.clone(), AllocMode::General);
+    let idx: Arc<dyn RangeIndex> = match kind {
+        "fptree" => FpTree::create(alloc, FpTreeConfig::default()),
+        "nvtree" => NvTree::create(alloc, NvTreeConfig::default()),
+        "wbtree" => WbTree::create(alloc, WbTreeConfig::default()),
+        "bztree" => BzTree::create(alloc, BzTreeConfig::default()),
+        _ => unreachable!(),
+    };
+    (idx, Some(pool))
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
+    println!("OLTP-ish mixed workload: 70% lookup / 20% insert / 5% update / 5% scan");
+    println!("{RECORDS} records prefilled, {OPS} ops, {threads} threads, Optane-like latency\n");
+
+    let mix = OpMix {
+        lookup: 70,
+        insert: 20,
+        update: 5,
+        remove: 0,
+        scan: 5,
+    };
+    let mut table = Table::new(vec![
+        "index",
+        "Mops/s",
+        "p99 lookup",
+        "p99 insert",
+        "PM writeB/op",
+    ]);
+    for kind in ["fptree", "nvtree", "wbtree", "bztree", "dram-btree"] {
+        let (idx, pool) = build(kind);
+        let ks = KeySpace::new(RECORDS);
+        prefill(&*idx, &ks, threads);
+        let cfg = BenchConfig {
+            threads,
+            records: RECORDS,
+            ops_per_thread: Some(OPS / threads as u64),
+            duration: None,
+            mix,
+            distribution: Distribution::Uniform,
+            scan_len: 100,
+            latency_sample_shift: 3,
+            seed: 1,
+            negative_lookups: false,
+        };
+        let r = run(&*idx, &ks, pool.as_deref(), &cfg);
+        table.row(vec![
+            kind.to_string(),
+            format!("{:.3}", r.mops()),
+            format!(
+                "{}ns",
+                r.latency[pm_index_bench::pibench::OpKind::Lookup as usize].percentile(99.0)
+            ),
+            format!(
+                "{}ns",
+                r.latency[pm_index_bench::pibench::OpKind::Insert as usize].percentile(99.0)
+            ),
+            format!("{:.0}", r.pm_write_bytes_per_op()),
+        ]);
+    }
+    print!("{}", table.to_text());
+}

@@ -1,0 +1,53 @@
+//! # pm-index-bench
+//!
+//! Umbrella crate for the reproduction of *Evaluating Persistent Memory
+//! Range Indexes* (PVLDB 13(4), 2019). It re-exports every workspace
+//! crate so downstream users can depend on a single package:
+//!
+//! - [`pmem`]: the emulated persistent-memory substrate,
+//! - [`pmalloc`]: the persistent allocator,
+//! - [`pmwcas`]: persistent multi-word CAS,
+//! - [`htm`]: software-emulated restricted transactional memory,
+//! - [`index_api`]: the common range-index interface,
+//! - the four evaluated indexes: [`fptree`], [`nvtree`], [`wbtree`],
+//!   [`bztree`], plus the volatile [`dram_index`] baseline,
+//! - [`pibench`]: the benchmarking framework.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pm_index_bench::fptree::{FpTree, FpTreeConfig};
+//! use pm_index_bench::index_api::RangeIndex;
+//! use pm_index_bench::pmalloc::{AllocMode, PmAllocator};
+//! use pm_index_bench::pmem::{PmConfig, PmPool};
+//!
+//! // An emulated PM device, a crash-safe allocator, and FPTree on top.
+//! let pool = Arc::new(PmPool::new(16 << 20, PmConfig::real()));
+//! let alloc = PmAllocator::format(pool.clone(), AllocMode::General);
+//! let tree = FpTree::create(alloc, FpTreeConfig::default());
+//!
+//! assert!(tree.insert(7, 70));
+//! assert_eq!(tree.lookup(7), Some(70));
+//!
+//! // Power failure: everything unflushed and all DRAM state is lost...
+//! drop(tree);
+//! pool.crash();
+//!
+//! // ...and recovery brings the acknowledged state back.
+//! let alloc = PmAllocator::recover(pool, AllocMode::General);
+//! let tree = FpTree::recover(alloc, FpTreeConfig::default());
+//! assert_eq!(tree.lookup(7), Some(70));
+//! ```
+
+pub use bztree;
+pub use dram_index;
+pub use fptree;
+pub use htm;
+pub use index_api;
+pub use nvtree;
+pub use pibench;
+pub use pmalloc;
+pub use pmem;
+pub use pmwcas;
+pub use wbtree;

@@ -1,0 +1,108 @@
+//! Shared helpers for the integration tests: index construction and
+//! recovery across all workspace indexes.
+//!
+//! Each integration test binary uses a different subset of these
+//! helpers, so the rest would trip `dead_code` per binary.
+#![allow(dead_code)]
+
+use std::sync::Arc;
+
+use pm_index_bench::bztree::{BzTree, BzTreeConfig};
+use pm_index_bench::dram_index::DramTree;
+use pm_index_bench::fptree::{FpTree, FpTreeConfig};
+use pm_index_bench::index_api::RangeIndex;
+use pm_index_bench::nvtree::{NvTree, NvTreeConfig};
+use pm_index_bench::pmalloc::{AllocMode, PmAllocator};
+use pm_index_bench::pmem::{PmConfig, PmPool};
+use pm_index_bench::wbtree::{WbTree, WbTreeConfig};
+
+/// PM index kinds.
+pub const PM_KINDS: [&str; 4] = ["fptree", "nvtree", "wbtree", "bztree"];
+/// All kinds including the volatile baseline.
+pub const ALL_KINDS: [&str; 5] = ["fptree", "nvtree", "wbtree", "bztree", "dram"];
+
+/// Small node configs so integration workloads exercise many splits.
+pub fn create_small(kind: &str, alloc: Arc<PmAllocator>) -> Arc<dyn RangeIndex> {
+    match kind {
+        "fptree" => FpTree::create(
+            alloc,
+            FpTreeConfig {
+                leaf_entries: 16,
+                inner_fanout: 8,
+                ..FpTreeConfig::default()
+            },
+        ),
+        "nvtree" => NvTree::create(
+            alloc,
+            NvTreeConfig {
+                leaf_entries: 16,
+                pln_entries: 16,
+            },
+        ),
+        "wbtree" => WbTree::create(
+            alloc,
+            WbTreeConfig {
+                node_entries: 8,
+                use_slot_array: true,
+            },
+        ),
+        "bztree" => BzTree::create(
+            alloc,
+            BzTreeConfig {
+                node_entries: 16,
+                split_threshold_pct: 70,
+            },
+        ),
+        other => panic!("not a PM index: {other}"),
+    }
+}
+
+/// Matching recovery entry points for [`create_small`].
+pub fn recover_small(kind: &str, alloc: Arc<PmAllocator>) -> Arc<dyn RangeIndex> {
+    match kind {
+        "fptree" => FpTree::recover(
+            alloc,
+            FpTreeConfig {
+                leaf_entries: 16,
+                inner_fanout: 8,
+                ..FpTreeConfig::default()
+            },
+        ),
+        "nvtree" => NvTree::recover(
+            alloc,
+            NvTreeConfig {
+                leaf_entries: 16,
+                pln_entries: 16,
+            },
+        ),
+        "wbtree" => WbTree::recover(
+            alloc,
+            WbTreeConfig {
+                node_entries: 8,
+                use_slot_array: true,
+            },
+        ),
+        "bztree" => BzTree::recover(
+            alloc,
+            BzTreeConfig {
+                node_entries: 16,
+                split_threshold_pct: 70,
+            },
+        ),
+        other => panic!("not a PM index: {other}"),
+    }
+}
+
+/// A fresh small-node index on its own pool.
+pub fn fresh(
+    kind: &str,
+    pool_mib: usize,
+    cfg: PmConfig,
+) -> (Arc<dyn RangeIndex>, Option<Arc<PmPool>>) {
+    if kind == "dram" {
+        return (Arc::new(DramTree::new()), None);
+    }
+    let pool = Arc::new(PmPool::new(pool_mib << 20, cfg));
+    let alloc = PmAllocator::format(pool.clone(), AllocMode::General);
+    (create_small(kind, alloc), Some(pool))
+}

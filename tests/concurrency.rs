@@ -1,0 +1,140 @@
+//! Concurrency integration tests across all concurrent indexes
+//! (wB+Tree participates through its mutex wrapper).
+
+mod common;
+
+use common::{fresh, ALL_KINDS};
+use pm_index_bench::pmem::PmConfig;
+
+#[test]
+fn concurrent_disjoint_inserts_land_exactly_once() {
+    for kind in ALL_KINDS {
+        let (idx, _pool) = fresh(kind, 128, PmConfig::real());
+        let threads = 6u64;
+        let per = 3_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let idx = &idx;
+                s.spawn(move || {
+                    for i in 0..per {
+                        let k = t * 1_000_000 + i;
+                        assert!(idx.insert(k, k + 1), "{kind} dup at {k}");
+                    }
+                });
+            }
+        });
+        for t in 0..threads {
+            for i in 0..per {
+                let k = t * 1_000_000 + i;
+                assert_eq!(idx.lookup(k), Some(k + 1), "{kind} key {k}");
+            }
+        }
+        let mut out = Vec::new();
+        assert_eq!(
+            idx.scan(0, (threads * per) as usize + 10, &mut out),
+            (threads * per) as usize,
+            "{kind}"
+        );
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0), "{kind}");
+    }
+}
+
+#[test]
+fn concurrent_same_key_inserts_one_winner() {
+    for kind in ALL_KINDS {
+        let (idx, _pool) = fresh(kind, 64, PmConfig::real());
+        let wins = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                let idx = &idx;
+                let wins = &wins;
+                s.spawn(move || {
+                    for k in 0..1_000u64 {
+                        if idx.insert(k, k) {
+                            wins.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            wins.load(std::sync::atomic::Ordering::Relaxed),
+            1_000,
+            "{kind}: every key must have exactly one winning insert"
+        );
+    }
+}
+
+#[test]
+fn concurrent_mixed_ops_preserve_scan_order() {
+    for kind in ALL_KINDS {
+        let (idx, _pool) = fresh(kind, 128, PmConfig::real());
+        std::thread::scope(|s| {
+            for t in 0..6u64 {
+                let idx = &idx;
+                s.spawn(move || {
+                    let mut x = t + 3;
+                    for i in 0..3_000u64 {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let k = x % 2_048;
+                        match i % 5 {
+                            0 | 1 => {
+                                idx.insert(k, i);
+                            }
+                            2 => {
+                                idx.lookup(k);
+                            }
+                            3 => {
+                                idx.update(k, i);
+                            }
+                            _ => {
+                                let mut out = Vec::new();
+                                idx.scan(k, 12, &mut out);
+                                assert!(
+                                    out.windows(2).all(|w| w[0].0 < w[1].0),
+                                    "{kind}: disordered concurrent scan"
+                                );
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[test]
+fn readers_never_block_on_writers_progress() {
+    // Liveness smoke test: continuous writers + a reader that must
+    // finish a fixed amount of work in bounded time.
+    for kind in ALL_KINDS {
+        let (idx, _pool) = fresh(kind, 128, PmConfig::real());
+        for k in 0..10_000u64 {
+            idx.insert(k * 2, k);
+        }
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for t in 0..2u64 {
+                let idx = &idx;
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        idx.insert(1_000_000 + t * 1_000_000 + i, i);
+                        i += 1;
+                    }
+                });
+            }
+            let t0 = std::time::Instant::now();
+            for k in 0..20_000u64 {
+                idx.lookup(k);
+            }
+            let took = t0.elapsed();
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            assert!(
+                took < std::time::Duration::from_secs(30),
+                "{kind}: reader starved ({took:?})"
+            );
+        });
+    }
+}

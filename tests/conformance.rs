@@ -1,0 +1,68 @@
+//! Cross-index conformance: every index must agree operation-by-
+//! operation with the `BTreeMap` oracle, under several seeds and with
+//! split-heavy small nodes.
+
+mod common;
+
+use common::{fresh, ALL_KINDS};
+use pm_index_bench::index_api::oracle;
+use pm_index_bench::pmem::PmConfig;
+
+#[test]
+fn all_indexes_match_the_oracle() {
+    for kind in ALL_KINDS {
+        let (idx, _pool) = fresh(kind, 64, PmConfig::real());
+        oracle::check_conformance(&*idx, 0xA11CE, 25_000, 4_000);
+    }
+}
+
+#[test]
+fn conformance_under_multiple_seeds() {
+    for kind in ALL_KINDS {
+        for seed in [1u64, 2, 3] {
+            let (idx, _pool) = fresh(kind, 64, PmConfig::real());
+            oracle::check_conformance(&*idx, seed, 8_000, 1_000);
+        }
+    }
+}
+
+#[test]
+fn conformance_with_narrow_key_range_stresses_collisions() {
+    // A 64-key universe: constant duplicate inserts, repeated removes,
+    // heavy re-insert-after-tombstone churn.
+    for kind in ALL_KINDS {
+        let (idx, _pool) = fresh(kind, 64, PmConfig::real());
+        oracle::check_conformance(&*idx, 0xD00D, 20_000, 64);
+    }
+}
+
+#[test]
+fn conformance_with_eviction_chaos_enabled() {
+    // Chaos mode persists random unflushed lines; runtime behaviour
+    // must be completely unaffected (it only matters across crashes).
+    for kind in common::PM_KINDS {
+        let (idx, _pool) = fresh(kind, 64, PmConfig::real().with_eviction_chaos(99));
+        oracle::check_conformance(&*idx, 0xC0DE, 10_000, 2_000);
+    }
+}
+
+#[test]
+fn scans_are_exact_at_boundaries() {
+    for kind in ALL_KINDS {
+        let (idx, _pool) = fresh(kind, 64, PmConfig::real());
+        for k in (0..1_000u64).step_by(2) {
+            idx.insert(k, k + 1);
+        }
+        let mut out = Vec::new();
+        // Start below, at, and above existing keys; counts at edges.
+        assert_eq!(idx.scan(0, 1, &mut out), 1, "{kind}");
+        assert_eq!(out, vec![(0, 1)], "{kind}");
+        assert_eq!(idx.scan(1, 2, &mut out), 2, "{kind}");
+        assert_eq!(out, vec![(2, 3), (4, 5)], "{kind}");
+        assert_eq!(idx.scan(998, 10, &mut out), 1, "{kind}");
+        assert_eq!(idx.scan(999, 10, &mut out), 0, "{kind}");
+        assert_eq!(idx.scan(0, 0, &mut out), 0, "{kind}");
+        assert_eq!(idx.scan(0, 100_000, &mut out), 500, "{kind}");
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0), "{kind}");
+    }
+}
