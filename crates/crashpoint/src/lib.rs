@@ -1,0 +1,652 @@
+//! # crashpoint — systematic crash-point exploration for PM indexes
+//!
+//! The crash tests in the workspace pull the plug *between* operations;
+//! the interleavings that actually break persistent-memory indexes are
+//! the ones *inside* an operation, between one persistence event and
+//! the next (cf. RECIPE, SOSP 2019, and pmemcheck). This crate drives
+//! [`pmem`]'s crash-point injection over every such window:
+//!
+//! 1. **Probe**: run a deterministic mixed workload once, counting the
+//!    persistence events (`clwb` / `ntstore` / `sfence`) it generates.
+//! 2. **Sweep**: for every boundary `1..=N` (optionally strided), replay
+//!    the identical workload on a fresh pool armed to lose power at that
+//!    exact event. The in-flight operation unwinds via a
+//!    [`pmem::CrashPointHit`] panic with the persisted image frozen.
+//! 3. **Recover & verify**: discard the volatile image, run
+//!    [`PmAllocator::recover`] plus the index's recovery procedure, and
+//!    check the oracle invariant — *exactly the acknowledged operations
+//!    survive; the unacknowledged in-flight operation is atomic (fully
+//!    applied or fully absent)* — plus index well-formedness (sorted,
+//!    duplicate-free scans) and post-recovery usability.
+//!
+//! A durability audit rides along: each crash snapshots the number of
+//! written-but-unflushed words/lines and the cumulative redundant-flush
+//! count, so acknowledged-but-unflushed state is caught even when it
+//! happens not to change the recovered image.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Once};
+
+use bztree::{BzTree, BzTreeConfig};
+use fptree::{FpTree, FpTreeConfig};
+use index_api::RangeIndex;
+use pmalloc::{AllocMode, PmAllocator};
+use pmem::{CrashPointHit, CrashReport, PersistEventKind, PmConfig, PmPool};
+
+use nvtree::{NvTree, NvTreeConfig};
+use wbtree::{WbTree, WbTreeConfig};
+
+/// The four persistent indexes the explorer knows how to build.
+pub const PM_KINDS: [&str; 4] = ["fptree", "nvtree", "wbtree", "bztree"];
+
+/// Build a fresh index with deliberately small nodes so short workloads
+/// exercise splits and other structure-modifying operations (the same
+/// configs the integration tests use).
+pub fn build_index(kind: &str, alloc: Arc<PmAllocator>) -> Arc<dyn RangeIndex> {
+    match kind {
+        "fptree" => FpTree::create(
+            alloc,
+            FpTreeConfig {
+                leaf_entries: 16,
+                inner_fanout: 8,
+                ..FpTreeConfig::default()
+            },
+        ),
+        "nvtree" => NvTree::create(
+            alloc,
+            NvTreeConfig {
+                leaf_entries: 16,
+                pln_entries: 16,
+            },
+        ),
+        "wbtree" => WbTree::create(
+            alloc,
+            WbTreeConfig {
+                node_entries: 8,
+                use_slot_array: true,
+            },
+        ),
+        "bztree" => BzTree::create(
+            alloc,
+            BzTreeConfig {
+                node_entries: 16,
+                split_threshold_pct: 70,
+            },
+        ),
+        other => panic!("unknown PM index kind: {other}"),
+    }
+}
+
+/// Recovery entry point matching [`build_index`].
+pub fn recover_index(kind: &str, alloc: Arc<PmAllocator>) -> Arc<dyn RangeIndex> {
+    match kind {
+        "fptree" => FpTree::recover(
+            alloc,
+            FpTreeConfig {
+                leaf_entries: 16,
+                inner_fanout: 8,
+                ..FpTreeConfig::default()
+            },
+        ),
+        "nvtree" => NvTree::recover(
+            alloc,
+            NvTreeConfig {
+                leaf_entries: 16,
+                pln_entries: 16,
+            },
+        ),
+        "wbtree" => WbTree::recover(
+            alloc,
+            WbTreeConfig {
+                node_entries: 8,
+                use_slot_array: true,
+            },
+        ),
+        "bztree" => BzTree::recover(
+            alloc,
+            BzTreeConfig {
+                node_entries: 16,
+                split_threshold_pct: 70,
+            },
+        ),
+        other => panic!("unknown PM index kind: {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic workload
+// ---------------------------------------------------------------------------
+
+/// One generated operation (the value is fixed by the op index, so the
+/// oracle can predict every acknowledged effect).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadOp {
+    Insert(u64, u64),
+    Update(u64, u64),
+    Remove(u64),
+}
+
+impl WorkloadOp {
+    /// The key the operation targets.
+    pub fn key(&self) -> u64 {
+        match *self {
+            WorkloadOp::Insert(k, _) | WorkloadOp::Update(k, _) | WorkloadOp::Remove(k) => k,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            WorkloadOp::Insert(..) => "insert",
+            WorkloadOp::Update(..) => "update",
+            WorkloadOp::Remove(..) => "remove",
+        }
+    }
+}
+
+/// The deterministic mixed workload (same LCG and op mix as the
+/// `crash_recovery` integration tests: 60% insert / 20% update / 20%
+/// remove over a narrow key range to force collisions and splits).
+pub fn workload(seed: u64, n_ops: u64, key_range: u64) -> Vec<WorkloadOp> {
+    let mut ops = Vec::with_capacity(n_ops as usize);
+    let mut x = seed | 1;
+    for i in 0..n_ops {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let k = (x >> 16) % key_range;
+        ops.push(match x % 10 {
+            0..=5 => WorkloadOp::Insert(k, i),
+            6..=7 => WorkloadOp::Update(k, i + 1),
+            _ => WorkloadOp::Remove(k),
+        });
+    }
+    ops
+}
+
+/// Apply one op, returning whether it was acknowledged, and fold the
+/// acknowledged effect into the oracle model.
+fn apply_op(idx: &dyn RangeIndex, model: &mut BTreeMap<u64, u64>, op: WorkloadOp) -> bool {
+    match op {
+        WorkloadOp::Insert(k, v) => {
+            let acked = idx.insert(k, v);
+            if acked {
+                model.insert(k, v);
+            }
+            acked
+        }
+        WorkloadOp::Update(k, v) => {
+            let acked = idx.update(k, v);
+            if acked {
+                model.insert(k, v);
+            }
+            acked
+        }
+        WorkloadOp::Remove(k) => {
+            let acked = idx.remove(k);
+            if acked {
+                model.remove(&k);
+            }
+            acked
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quiet panic hook
+// ---------------------------------------------------------------------------
+
+/// Install a process-wide panic hook that silences the intentional
+/// [`CrashPointHit`] unwinds (an exploration fires thousands of them)
+/// while delegating every real panic to the previous hook. Idempotent.
+pub fn install_quiet_crash_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CrashPointHit>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Exploration
+// ---------------------------------------------------------------------------
+
+/// Parameters of one exploration sweep.
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Index kind (see [`PM_KINDS`]).
+    pub kind: String,
+    /// Number of workload operations.
+    pub ops: u64,
+    /// Key range (small ranges force collisions and splits).
+    pub key_range: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Pool size in MiB.
+    pub pool_mib: usize,
+    /// Eviction-chaos seed overlay (None = off).
+    pub chaos_seed: Option<u64>,
+    /// Explore every `stride`-th boundary (1 = every boundary).
+    pub stride: u64,
+    /// Cap on explored boundaries (None = all).
+    pub max_boundaries: Option<u64>,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            kind: "wbtree".to_string(),
+            ops: 1000,
+            key_range: 512,
+            seed: 1,
+            pool_mib: 32,
+            chaos_seed: None,
+            stride: 1,
+            max_boundaries: None,
+        }
+    }
+}
+
+/// Persistence-event footprint of one operation type, from the probe.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OpEventStats {
+    /// Operations of this type in the workload.
+    pub count: u64,
+    /// Persistence events they generated (crash windows they expose).
+    pub events: u64,
+}
+
+/// A boundary whose recovered state violated the oracle invariant.
+#[derive(Debug, Clone)]
+pub struct BoundaryFailure {
+    /// The armed boundary (1-based persistence-event index after setup).
+    pub boundary: u64,
+    /// Crash audit at the trip, if the crash fired.
+    pub report: Option<CrashReport>,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+/// Outcome of a full sweep over one index configuration.
+#[derive(Debug, Clone)]
+pub struct ExploreSummary {
+    /// Index kind explored.
+    pub kind: String,
+    /// Whether eviction chaos was overlaid.
+    pub chaos: bool,
+    /// Total persistence events of the probe run (the boundary space).
+    pub total_events: u64,
+    /// Boundaries actually explored (after stride / cap).
+    pub boundaries_tested: u64,
+    /// Boundaries where the injected crash fired mid-run.
+    pub crashes_fired: u64,
+    /// Boundary runs that completed without tripping (event-sequence
+    /// divergence; still verified for exact equality).
+    pub completed_runs: u64,
+    /// Crashes per trigger kind \[clwb, ntstore, sfence\].
+    pub trigger_histogram: [u64; 3],
+    /// Largest dirty-line count observed at any crash point.
+    pub max_dirty_lines: u64,
+    /// Largest dirty-word count observed at any crash point.
+    pub max_dirty_words: u64,
+    /// Redundant flushes over the whole probe run.
+    pub probe_redundant_clwb: u64,
+    /// Probe-run event footprint per op type.
+    pub per_op: BTreeMap<&'static str, OpEventStats>,
+    /// Oracle violations (empty = the index survived every window).
+    pub failures: Vec<BoundaryFailure>,
+}
+
+impl ExploreSummary {
+    /// True when every explored boundary recovered correctly.
+    pub fn is_green(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+struct Env {
+    pool: Arc<PmPool>,
+    idx: Arc<dyn RangeIndex>,
+}
+
+fn fresh_env(opts: &ExploreOptions) -> Env {
+    let cfg = match opts.chaos_seed {
+        Some(s) => PmConfig::real().with_eviction_chaos(s),
+        None => PmConfig::real(),
+    };
+    let pool = Arc::new(PmPool::new(opts.pool_mib << 20, cfg));
+    let alloc = PmAllocator::format(pool.clone(), AllocMode::General);
+    let idx = build_index(&opts.kind, alloc);
+    Env { pool, idx }
+}
+
+/// What the in-flight (unacknowledged) operation is allowed to have
+/// done to its key: nothing (`pre`) or everything (`post`).
+#[derive(Debug, Clone, Copy)]
+pub struct InflightAllowance {
+    /// The key the cut operation targeted.
+    pub key: u64,
+    /// State of the key before the operation started.
+    pub pre: Option<u64>,
+    /// State of the key had the operation completed.
+    pub post: Option<u64>,
+}
+
+impl InflightAllowance {
+    /// Compute the allowance for `op` against the pre-crash model.
+    pub fn for_op(op: WorkloadOp, model: &BTreeMap<u64, u64>) -> Self {
+        let key = op.key();
+        let pre = model.get(&key).copied();
+        let post = match op {
+            // Insert acks only if absent; on an occupied key it is a
+            // no-op, so "fully applied" equals the pre-state.
+            WorkloadOp::Insert(_, v) => Some(pre.unwrap_or(v)),
+            WorkloadOp::Update(_, v) => pre.map(|_| v),
+            WorkloadOp::Remove(_) => None,
+        };
+        InflightAllowance { key, pre, post }
+    }
+
+    /// Whether `observed` is an atomic outcome of the cut operation.
+    pub fn allows(&self, observed: Option<u64>) -> bool {
+        observed == self.pre || observed == self.post
+    }
+}
+
+/// Verify the recovered index against the oracle model.
+///
+/// `inflight` is the operation that was cut mid-flight (None when the
+/// run completed); its key may be in either its pre- or post-state,
+/// every other key must match the model exactly, and the index must
+/// remain well-formed and writable.
+pub fn verify_recovered(
+    idx: &dyn RangeIndex,
+    model: &BTreeMap<u64, u64>,
+    inflight: Option<InflightAllowance>,
+) -> Result<(), String> {
+    // Point lookups: every acknowledged record must be present.
+    for (&k, &v) in model {
+        if inflight.map(|a| a.key) == Some(k) {
+            continue;
+        }
+        let got = idx.lookup(k);
+        if got != Some(v) {
+            return Err(format!(
+                "acknowledged key {k} lost or corrupt: expected {v:?}, found {got:?}"
+            ));
+        }
+    }
+    if let Some(a) = inflight {
+        let got = idx.lookup(a.key);
+        if !a.allows(got) {
+            return Err(format!(
+                "in-flight key {} not atomic: found {:?}, allowed {:?} (pre) or {:?} (post)",
+                a.key, got, a.pre, a.post
+            ));
+        }
+    }
+
+    // Full scan: well-formed (sorted, unique) and free of ghosts.
+    let mut out = Vec::new();
+    idx.scan(0, usize::MAX >> 1, &mut out);
+    if !out.windows(2).all(|w| w[0].0 < w[1].0) {
+        return Err("scan output not strictly sorted".to_string());
+    }
+    let observed: BTreeMap<u64, u64> = out.into_iter().collect();
+    for (&k, &v) in &observed {
+        match inflight {
+            Some(a) if a.key == k => {
+                if !a.allows(Some(v)) {
+                    return Err(format!(
+                        "scan ghost at in-flight key {k}: value {v} not an allowed state"
+                    ));
+                }
+            }
+            _ => {
+                if model.get(&k) != Some(&v) {
+                    return Err(format!(
+                        "scan ghost: key {k} -> {v} not in acknowledged state ({:?})",
+                        model.get(&k)
+                    ));
+                }
+            }
+        }
+    }
+    for &k in model.keys() {
+        if inflight.map(|a| a.key) == Some(k) {
+            continue;
+        }
+        if !observed.contains_key(&k) {
+            return Err(format!("scan lost acknowledged key {k}"));
+        }
+    }
+
+    // The recovered tree must remain usable.
+    let probe_key = u64::MAX - 3;
+    if !idx.insert(probe_key, 7) {
+        return Err("recovered index rejected a fresh insert".to_string());
+    }
+    if idx.lookup(probe_key) != Some(7) {
+        return Err("recovered index lost a fresh insert".to_string());
+    }
+    if !idx.remove(probe_key) {
+        return Err("recovered index failed to remove a fresh insert".to_string());
+    }
+    Ok(())
+}
+
+/// Probe run: execute the whole workload once, uninjected, and return
+/// the total persistence-event count plus per-op-type event stats.
+fn probe(opts: &ExploreOptions, ops: &[WorkloadOp]) -> (u64, u64, BTreeMap<&'static str, OpEventStats>) {
+    let env = fresh_env(opts);
+    let base = env.pool.persist_event_count();
+    let mut model = BTreeMap::new();
+    let mut per_op: BTreeMap<&'static str, OpEventStats> = BTreeMap::new();
+    let mut last = base;
+    for &op in ops {
+        apply_op(&*env.idx, &mut model, op);
+        let now = env.pool.persist_event_count();
+        let entry = per_op.entry(op.kind_str()).or_default();
+        entry.count += 1;
+        entry.events += now - last;
+        last = now;
+    }
+    let redundant = env.pool.stats().clwb_redundant;
+    (last - base, redundant, per_op)
+}
+
+/// Run the workload against a fresh armed environment. Returns the
+/// oracle model of acknowledged ops, the in-flight allowance if the
+/// crash fired, and the environment for recovery.
+fn armed_run(
+    opts: &ExploreOptions,
+    ops: &[WorkloadOp],
+    boundary: u64,
+) -> (Env, BTreeMap<u64, u64>, Option<InflightAllowance>) {
+    let env = fresh_env(opts);
+    env.pool.arm_crash_after(boundary);
+    let mut model = BTreeMap::new();
+    let mut inflight = None;
+    for &op in ops {
+        let allowance = InflightAllowance::for_op(op, &model);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            apply_op(&*env.idx, &mut model, op);
+        }));
+        if let Err(payload) = result {
+            if payload.downcast_ref::<CrashPointHit>().is_none() {
+                resume_unwind(payload);
+            }
+            inflight = Some(allowance);
+            break;
+        }
+    }
+    if inflight.is_none() {
+        env.pool.disarm_crash();
+    }
+    (env, model, inflight)
+}
+
+/// Explore one boundary: replay armed, crash, recover, verify.
+fn explore_boundary(
+    opts: &ExploreOptions,
+    ops: &[WorkloadOp],
+    boundary: u64,
+) -> (Option<CrashReport>, Result<(), String>) {
+    let (env, model, inflight) = armed_run(opts, ops, boundary);
+    let Env { pool, idx } = env;
+    let report = pool.crash_report();
+    // Power cycle: drop every DRAM front-end, discard the volatile
+    // image, then recover from the frozen persisted image alone.
+    drop(idx);
+    pool.crash();
+    let alloc = PmAllocator::recover(pool.clone(), AllocMode::General);
+    let idx = recover_index(&opts.kind, alloc);
+    let verdict = verify_recovered(&*idx, &model, inflight);
+    (report, verdict)
+}
+
+/// Run a full crash-point exploration sweep.
+///
+/// Installs the quiet panic hook, probes the workload's event count,
+/// then for each selected boundary replays the workload with an
+/// injected power failure and verifies recovery. Never panics on an
+/// oracle violation: failures are collected in the summary so a CLI can
+/// report all of them.
+pub fn explore(opts: &ExploreOptions) -> ExploreSummary {
+    install_quiet_crash_hook();
+    let ops = workload(opts.seed, opts.ops, opts.key_range);
+    let (total_events, probe_redundant_clwb, per_op) = probe(opts, &ops);
+
+    let mut summary = ExploreSummary {
+        kind: opts.kind.clone(),
+        chaos: opts.chaos_seed.is_some(),
+        total_events,
+        boundaries_tested: 0,
+        crashes_fired: 0,
+        completed_runs: 0,
+        trigger_histogram: [0; 3],
+        max_dirty_lines: 0,
+        max_dirty_words: 0,
+        probe_redundant_clwb,
+        per_op,
+        failures: Vec::new(),
+    };
+
+    let stride = opts.stride.max(1);
+    let mut boundary = 1;
+    while boundary <= total_events {
+        if let Some(cap) = opts.max_boundaries {
+            if summary.boundaries_tested >= cap {
+                break;
+            }
+        }
+        let (report, verdict) = explore_boundary(opts, &ops, boundary);
+        summary.boundaries_tested += 1;
+        match &report {
+            Some(r) => {
+                summary.crashes_fired += 1;
+                let slot = match r.trigger {
+                    PersistEventKind::Clwb => 0,
+                    PersistEventKind::Ntstore => 1,
+                    PersistEventKind::Sfence => 2,
+                };
+                summary.trigger_histogram[slot] += 1;
+                summary.max_dirty_lines = summary.max_dirty_lines.max(r.dirty_lines);
+                summary.max_dirty_words = summary.max_dirty_words.max(r.dirty_words);
+            }
+            None => summary.completed_runs += 1,
+        }
+        if let Err(detail) = verdict {
+            summary.failures.push(BoundaryFailure {
+                boundary,
+                report,
+                detail,
+            });
+        }
+        boundary += stride;
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_mixed() {
+        let a = workload(9, 500, 128);
+        let b = workload(9, 500, 128);
+        assert_eq!(a, b);
+        let inserts = a.iter().filter(|o| matches!(o, WorkloadOp::Insert(..))).count();
+        let updates = a.iter().filter(|o| matches!(o, WorkloadOp::Update(..))).count();
+        let removes = a.iter().filter(|o| matches!(o, WorkloadOp::Remove(..))).count();
+        assert!(inserts > updates && updates > 0 && removes > 0);
+    }
+
+    #[test]
+    fn inflight_allowance_covers_all_op_shapes() {
+        let mut model = BTreeMap::new();
+        model.insert(5, 50);
+        // Insert on an occupied key is a no-op either way.
+        let a = InflightAllowance::for_op(WorkloadOp::Insert(5, 99), &model);
+        assert!(a.allows(Some(50)) && !a.allows(Some(99)) && !a.allows(None));
+        // Insert on a fresh key: absent or fully inserted.
+        let a = InflightAllowance::for_op(WorkloadOp::Insert(6, 60), &model);
+        assert!(a.allows(None) && a.allows(Some(60)) && !a.allows(Some(61)));
+        // Update of an existing key: old or new value, never absent.
+        let a = InflightAllowance::for_op(WorkloadOp::Update(5, 51), &model);
+        assert!(a.allows(Some(50)) && a.allows(Some(51)) && !a.allows(None));
+        // Remove: present-with-old-value or gone.
+        let a = InflightAllowance::for_op(WorkloadOp::Remove(5), &model);
+        assert!(a.allows(Some(50)) && a.allows(None) && !a.allows(Some(51)));
+    }
+
+    #[test]
+    fn probe_counts_events_for_every_kind() {
+        for kind in PM_KINDS {
+            let opts = ExploreOptions {
+                kind: kind.to_string(),
+                ops: 60,
+                key_range: 32,
+                pool_mib: 16,
+                ..ExploreOptions::default()
+            };
+            let ops = workload(opts.seed, opts.ops, opts.key_range);
+            let (events, _, per_op) = probe(&opts, &ops);
+            assert!(events > 0, "{kind}: no persistence events?");
+            assert!(per_op.contains_key("insert"), "{kind}: no insert stats");
+        }
+    }
+
+    #[test]
+    fn smoke_sweep_is_green_for_every_kind() {
+        // A bounded sweep (strided) across all four indexes; the full
+        // boundary-by-boundary matrix lives in the integration tests
+        // and the CLI.
+        for kind in PM_KINDS {
+            let opts = ExploreOptions {
+                kind: kind.to_string(),
+                ops: 40,
+                key_range: 24,
+                pool_mib: 16,
+                stride: 7,
+                ..ExploreOptions::default()
+            };
+            let summary = explore(&opts);
+            assert!(summary.total_events > 0);
+            assert!(summary.boundaries_tested > 0);
+            assert!(
+                summary.is_green(),
+                "{kind}: {} oracle violations, first: {:?}",
+                summary.failures.len(),
+                summary.failures.first()
+            );
+            assert!(summary.crashes_fired > 0, "{kind}: injection never fired");
+        }
+    }
+}

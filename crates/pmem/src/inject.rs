@@ -1,0 +1,90 @@
+//! Crash-point injection: deterministic power failure at the N-th
+//! persistence event.
+//!
+//! The emulator's [`crate::PmPool::crash`] models power loss *between*
+//! operations; the interleavings that actually break PM indexes are the
+//! ones *inside* an operation, between one `clwb`/`sfence` and the
+//! next (RECIPE, SOSP 2019). This module provides the machinery to
+//! explore those windows:
+//!
+//! * [`crate::PmPool::arm_crash_after`]`(n)` arms the pool so the n-th
+//!   subsequent *persistence event* — a [`crate::PmPool::clwb`],
+//!   [`crate::PmPool::ntstore_u64`] or [`crate::PmPool::sfence`] call —
+//!   does **not** take effect. Instead the pool freezes its persisted
+//!   image (as if power was cut just before the instruction retired)
+//!   and unwinds out of the in-flight operation by panicking with a
+//!   [`CrashPointHit`] payload.
+//! * The harness catches the unwind (`std::panic::catch_unwind`),
+//!   drops the index and allocator front-ends, calls
+//!   [`crate::PmPool::crash`] to discard the volatile image, and runs
+//!   recovery exactly as it would after a real power cycle.
+//! * While frozen, every later persistence primitive is a no-op and
+//!   eviction chaos is disabled, so destructors and deferred frees that
+//!   run during unwinding cannot retroactively persist anything.
+//!
+//! Arming also snapshots a pmemcheck-style **durability audit** at the
+//! moment of the crash: how many dirty (written but unflushed) words
+//! and cache lines existed, and how many redundant flushes (a `clwb`
+//! covering only already-clean lines) had been issued.
+//!
+//! The whole facility is designed for single-threaded exploration
+//! runs: event counting is exact only when one thread drives the pool,
+//! which is what a deterministic boundary sweep needs anyway.
+
+/// Panic payload used by crash-point injection.
+///
+/// Harness code should `catch_unwind` and downcast the payload to this
+/// type; any other payload is a genuine panic and must be propagated
+/// with `std::panic::resume_unwind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPointHit;
+
+/// Which primitive tripped the injected crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistEventKind {
+    /// A cache-line write-back ([`crate::PmPool::clwb`]).
+    Clwb,
+    /// A non-temporal store ([`crate::PmPool::ntstore_u64`]).
+    Ntstore,
+    /// A store fence ([`crate::PmPool::sfence`]).
+    Sfence,
+}
+
+impl std::fmt::Display for PersistEventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PersistEventKind::Clwb => "clwb",
+            PersistEventKind::Ntstore => "ntstore",
+            PersistEventKind::Sfence => "sfence",
+        })
+    }
+}
+
+/// Durability audit captured at the instant an injected crash fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashReport {
+    /// Global persistence-event index (since pool creation) at which
+    /// the crash fired; the event itself did not take effect.
+    pub event_index: u64,
+    /// The primitive that would have been the `event_index`-th event.
+    pub trigger: PersistEventKind,
+    /// Written-but-unflushed 8-byte words at crash time (lost data).
+    pub dirty_words: u64,
+    /// Cache lines containing at least one dirty word at crash time.
+    pub dirty_lines: u64,
+    /// Cumulative count of redundant flushes (a `clwb` whose covered
+    /// lines were all already clean) up to the crash.
+    pub redundant_clwb: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_kind_display() {
+        assert_eq!(PersistEventKind::Clwb.to_string(), "clwb");
+        assert_eq!(PersistEventKind::Ntstore.to_string(), "ntstore");
+        assert_eq!(PersistEventKind::Sfence.to_string(), "sfence");
+    }
+}

@@ -31,12 +31,14 @@
 //! collection does not serialize multi-threaded benchmarks.
 
 mod config;
+mod inject;
 mod latency;
 mod off;
 mod pool;
 mod stats;
 
 pub use config::{PersistenceMode, PmConfig};
+pub use inject::{CrashPointHit, CrashReport, PersistEventKind};
 pub use latency::LatencyModel;
 pub use off::{PmOff, NULL_OFF};
 pub use pool::{PmPool, PmSafe, CACHELINE, MEDIA_BLOCK, ROOT_AREA};

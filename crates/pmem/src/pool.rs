@@ -2,9 +2,11 @@
 
 use std::cell::Cell;
 use std::mem::{align_of, size_of, MaybeUninit};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::config::{PersistenceMode, PmConfig};
+use crate::inject::{CrashPointHit, CrashReport, PersistEventKind};
 use crate::off::PmOff;
 use crate::stats::{PmStats, PmStatsSnapshot};
 
@@ -73,6 +75,18 @@ pub struct PmPool {
     stats: PmStats,
     id: u64,
     chaos_ctr: AtomicU64,
+    /// One bit per 8-byte word: set when the CPU image has been written
+    /// since the word was last persisted (the durability-audit bitmap).
+    dirty: Box<[AtomicU64]>,
+    /// Persistence events (clwb/ntstore/sfence calls) since creation.
+    events: AtomicU64,
+    /// Crash-point injection: events remaining until the trip (0 = off).
+    armed: AtomicU64,
+    /// Set once an injected crash fired; freezes the persisted image
+    /// until the next [`PmPool::crash`].
+    crashed: AtomicBool,
+    /// Durability audit captured when the injected crash fired.
+    report: Mutex<Option<CrashReport>>,
 }
 
 impl PmPool {
@@ -90,6 +104,11 @@ impl PmPool {
             stats: PmStats::new(),
             id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
             chaos_ctr: AtomicU64::new(0),
+            dirty: alloc(words.div_ceil(64)),
+            events: AtomicU64::new(0),
+            armed: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+            report: Mutex::new(None),
         }
     }
 
@@ -189,19 +208,213 @@ impl PmPool {
             cache.set(c);
         });
         self.stats.count_write(len as u64);
+        self.mark_dirty(off, len);
+    }
+
+    // ----- durability audit (dirty-word tracking) --------------------------
+
+    /// Mark the words covering `[off, off + len)` as written-but-unflushed.
+    #[inline]
+    fn mark_dirty(&self, off: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = off / 8;
+        let last = (off + len as u64 - 1) / 8;
+        if first / 64 == last / 64 {
+            // Common case: all touched words live in one bitmap atom.
+            let span = last - first + 1;
+            let mask = if span >= 64 {
+                u64::MAX
+            } else {
+                ((1u64 << span) - 1) << (first % 64)
+            };
+            self.dirty[(first / 64) as usize].fetch_or(mask, Ordering::Relaxed);
+        } else {
+            for w in first..=last {
+                self.dirty[(w / 64) as usize].fetch_or(1 << (w % 64), Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dirty bits of the 8 words in the cache line at `line_off`
+    /// (64-aligned). A cache line never straddles a bitmap atom.
+    #[inline]
+    fn line_dirty_bits(&self, line_off: u64) -> u64 {
+        let w0 = line_off / 8;
+        let shift = w0 % 64;
+        self.dirty[(w0 / 64) as usize].load(Ordering::Relaxed) & (0xFF << shift)
+    }
+
+    /// Written-but-unflushed 8-byte words (durability-audit bitmap
+    /// population count). Only meaningful in `Real` persistence mode.
+    pub fn dirty_word_count(&self) -> u64 {
+        self.dirty
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed).count_ones() as u64)
+            .sum()
+    }
+
+    /// Cache lines containing at least one dirty word.
+    pub fn dirty_line_count(&self) -> u64 {
+        let mut lines = 0u64;
+        for a in self.dirty.iter() {
+            let mut bits = a.load(Ordering::Relaxed);
+            while bits != 0 {
+                // Consume one 8-bit (one cache line) group at a time.
+                let line = (bits.trailing_zeros() / 8) as u64;
+                lines += 1;
+                bits &= !(0xFFu64 << (line * 8));
+            }
+        }
+        lines
+    }
+
+    /// Pool offsets of the first `limit` dirty cache lines, for
+    /// diagnostics in the crash-point explorer.
+    pub fn dirty_line_offsets(&self, limit: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        'outer: for (i, a) in self.dirty.iter().enumerate() {
+            let mut bits = a.load(Ordering::Relaxed);
+            while bits != 0 {
+                let line = (bits.trailing_zeros() / 8) as u64;
+                out.push((i as u64 * 64 + line * 8) * 8);
+                if out.len() >= limit {
+                    break 'outer;
+                }
+                bits &= !(0xFFu64 << (line * 8));
+            }
+        }
+        out
+    }
+
+    fn clear_all_dirty(&self) {
+        for a in self.dirty.iter() {
+            a.store(0, Ordering::Relaxed);
+        }
+    }
+
+    // ----- crash-point injection -------------------------------------------
+
+    /// Count one persistence event and trip the injected crash when the
+    /// pool is armed and the countdown reaches it. Returns `true` when
+    /// the pool has already crashed (callers must suppress the
+    /// persistence effect). Panics with [`CrashPointHit`] at the trip.
+    #[inline]
+    fn persistence_event(&self, kind: PersistEventKind) -> bool {
+        let index = self.events.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.crashed.load(Ordering::Relaxed) {
+            return true;
+        }
+        if self.armed.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        self.persistence_event_armed(kind, index)
+    }
+
+    /// Cold path of [`PmPool::persistence_event`]: decrement the armed
+    /// countdown and fire when it reaches zero.
+    #[cold]
+    fn persistence_event_armed(&self, kind: PersistEventKind, index: u64) -> bool {
+        loop {
+            let cur = self.armed.load(Ordering::Relaxed);
+            if cur == 0 {
+                return false; // lost a race with a concurrent trip/disarm
+            }
+            if self
+                .armed
+                .compare_exchange(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            if cur > 1 {
+                return false;
+            }
+            // This is the fatal event: freeze the persisted image first
+            // so nothing that runs during unwinding can persist data,
+            // then capture the durability audit and unwind.
+            self.crashed.store(true, Ordering::Relaxed);
+            let report = CrashReport {
+                event_index: index,
+                trigger: kind,
+                dirty_words: self.dirty_word_count(),
+                dirty_lines: self.dirty_line_count(),
+                redundant_clwb: self.stats.snapshot().clwb_redundant,
+            };
+            *self.report_slot() = Some(report);
+            std::panic::panic_any(CrashPointHit);
+        }
+    }
+
+    #[inline]
+    fn report_slot(&self) -> std::sync::MutexGuard<'_, Option<CrashReport>> {
+        self.report.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Arm the pool to simulate a power failure at the `events`-th
+    /// subsequent persistence event (a [`PmPool::clwb`],
+    /// [`PmPool::ntstore_u64`] or [`PmPool::sfence`] call; 1-based).
+    ///
+    /// The fatal event does not take effect: the persisted image is
+    /// frozen as of the instant *before* it, and the in-flight
+    /// operation is unwound via a panic carrying [`CrashPointHit`].
+    /// Catch it with `std::panic::catch_unwind`, then call
+    /// [`PmPool::crash`] and run recovery. `arm_crash_after(0)` disarms.
+    ///
+    /// Designed for single-threaded exploration runs; with concurrent
+    /// writers the trip point is racy (exactly one event still trips).
+    pub fn arm_crash_after(&self, events: u64) {
+        *self.report_slot() = None;
+        self.crashed.store(false, Ordering::Relaxed);
+        self.armed.store(events, Ordering::Relaxed);
+    }
+
+    /// Disarm a pending injected crash (no-op if none is armed).
+    pub fn disarm_crash(&self) {
+        self.armed.store(0, Ordering::Relaxed);
+    }
+
+    /// Events remaining until the armed crash fires (0 = disarmed).
+    pub fn crash_events_remaining(&self) -> u64 {
+        self.armed.load(Ordering::Relaxed)
+    }
+
+    /// Whether an injected crash has fired and the persisted image is
+    /// currently frozen (cleared by [`PmPool::crash`]).
+    pub fn crash_fired(&self) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    /// The durability audit captured when the last injected crash
+    /// fired. Survives [`PmPool::crash`]; cleared by the next
+    /// [`PmPool::arm_crash_after`].
+    pub fn crash_report(&self) -> Option<CrashReport> {
+        *self.report_slot()
+    }
+
+    /// Total persistence events (clwb/ntstore/sfence calls) since pool
+    /// creation. Used by probe runs to size a boundary sweep.
+    pub fn persist_event_count(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
     }
 
     /// Persist one aligned word into the persisted image (8-byte failure
     /// atomicity: words are never torn).
     #[inline]
     fn persist_word(&self, off: u64) {
-        let v = self.cpu[(off / 8) as usize].load(Ordering::Relaxed);
-        self.persisted[(off / 8) as usize].store(v, Ordering::Relaxed);
+        let w = (off / 8) as usize;
+        self.dirty[w / 64].fetch_and(!(1u64 << (w % 64)), Ordering::Relaxed);
+        let v = self.cpu[w].load(Ordering::Relaxed);
+        self.persisted[w].store(v, Ordering::Relaxed);
     }
 
     /// Eviction chaos: maybe spontaneously persist the word just written.
     #[inline]
     fn maybe_evict(&self, off: u64) {
+        if self.crashed.load(Ordering::Relaxed) {
+            return;
+        }
         if let Some(seed) = self.cfg.eviction_chaos {
             let n = self.chaos_ctr.fetch_add(1, Ordering::Relaxed);
             // SplitMix64-style mix of (seed, off, n).
@@ -393,11 +606,28 @@ impl PmPool {
             return;
         }
         self.stats.count_clwb();
+        if self.persistence_event(PersistEventKind::Clwb) {
+            return; // injected crash fired earlier: persisted image frozen
+        }
         if self.cfg.persistence == PersistenceMode::Elided {
             return;
         }
         let start = off & !(CACHELINE as u64 - 1);
         let end = crate::align_up(off + len as u64, CACHELINE as u64).min(self.len as u64);
+        // Durability audit: a write-back whose lines are all already
+        // clean did no useful work (pmemcheck's "redundant flush").
+        let mut any_dirty = false;
+        let mut line = start;
+        while line < end {
+            if self.line_dirty_bits(line) != 0 {
+                any_dirty = true;
+                break;
+            }
+            line += CACHELINE as u64;
+        }
+        if !any_dirty {
+            self.stats.count_clwb_redundant();
+        }
         let mut o = start;
         while o < end {
             self.persist_word(o);
@@ -419,9 +649,15 @@ impl PmPool {
     /// and the persisted image (durable at the next fence; persisted
     /// eagerly here).
     pub fn ntstore_u64(&self, off: u64, v: u64) {
-        self.account_write(off, 8);
         self.stats.count_ntstore();
+        // Trip before the store: at a power cut the instruction never
+        // retired, so neither image sees the value.
+        let frozen = self.persistence_event(PersistEventKind::Ntstore);
+        self.account_write(off, 8);
         self.word(off).store(v, Ordering::Relaxed);
+        if frozen {
+            return;
+        }
         if self.cfg.persistence == PersistenceMode::Real {
             self.persist_word(off);
             self.stats.count_media_write(1);
@@ -435,6 +671,7 @@ impl PmPool {
     #[inline]
     pub fn sfence(&self) {
         self.stats.count_fence();
+        self.persistence_event(PersistEventKind::Sfence);
         std::sync::atomic::fence(Ordering::SeqCst);
     }
 
@@ -467,6 +704,11 @@ impl PmPool {
             let v = self.persisted[i].load(Ordering::Relaxed);
             self.cpu[i].store(v, Ordering::Relaxed);
         }
+        // Power-cycle semantics: the injection state dies with the CPU
+        // image. The captured crash report survives for inspection.
+        self.armed.store(0, Ordering::Relaxed);
+        self.crashed.store(false, Ordering::Relaxed);
+        self.clear_all_dirty();
         std::sync::atomic::fence(Ordering::SeqCst);
     }
 
@@ -478,6 +720,7 @@ impl PmPool {
             let v = self.cpu[i].load(Ordering::Relaxed);
             self.persisted[i].store(v, Ordering::Relaxed);
         }
+        self.clear_all_dirty();
         std::sync::atomic::fence(Ordering::SeqCst);
     }
 
@@ -744,6 +987,144 @@ mod tests {
         assert_eq!(p.len() % MEDIA_BLOCK, 0);
         assert!(p.len() >= 1000);
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn dirty_tracking_counts_unflushed_words() {
+        let p = pool(8192);
+        assert_eq!(p.dirty_word_count(), 0);
+        p.write_u64(ROOT_AREA, 1);
+        p.write_u64(ROOT_AREA + 8, 2); // same cache line
+        p.write_u64(ROOT_AREA + 128, 3); // different line
+        assert_eq!(p.dirty_word_count(), 3);
+        assert_eq!(p.dirty_line_count(), 2);
+        assert_eq!(p.dirty_line_offsets(8), vec![ROOT_AREA, ROOT_AREA + 128]);
+        p.persist(ROOT_AREA, 8); // flushes the whole first line
+        assert_eq!(p.dirty_word_count(), 1);
+        assert_eq!(p.dirty_line_count(), 1);
+        p.crash();
+        assert_eq!(p.dirty_word_count(), 0, "crash discards dirty state");
+    }
+
+    #[test]
+    fn redundant_clwb_is_audited() {
+        let p = pool(8192);
+        p.write_u64(ROOT_AREA, 1);
+        p.persist(ROOT_AREA, 8);
+        assert_eq!(p.stats().clwb_redundant, 0);
+        p.persist(ROOT_AREA, 8); // nothing dirty: redundant
+        let s = p.stats();
+        assert_eq!(s.clwb, 2);
+        assert_eq!(s.clwb_redundant, 1);
+        // A new store makes the next flush useful again.
+        p.write_u64(ROOT_AREA, 2);
+        p.persist(ROOT_AREA, 8);
+        assert_eq!(p.stats().clwb_redundant, 1);
+    }
+
+    #[test]
+    fn ntstore_leaves_no_dirt() {
+        let p = pool(8192);
+        p.ntstore_u64(ROOT_AREA, 42);
+        assert_eq!(p.dirty_word_count(), 0);
+    }
+
+    #[test]
+    fn armed_crash_fires_at_exact_event_and_freezes_pool() {
+        let p = pool(8192);
+        // Three persistence events per loop iteration: clwb + sfence
+        // (via persist) on distinct lines, then an ntstore.
+        p.arm_crash_after(5);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for i in 0..10u64 {
+                let off = ROOT_AREA + i * 64;
+                p.write_u64(off, i + 1);
+                p.persist(off, 8); // events 1+2, 4+5, ...
+                p.ntstore_u64(off + 8, 100 + i); // events 3, 6, ...
+            }
+        }));
+        let payload = result.expect_err("crash point must fire");
+        assert!(
+            payload.downcast_ref::<crate::CrashPointHit>().is_some(),
+            "panic payload must be CrashPointHit"
+        );
+        assert!(p.crash_fired());
+        let report = p.crash_report().expect("report captured");
+        assert_eq!(report.event_index, 5);
+        assert_eq!(report.trigger, crate::PersistEventKind::Sfence);
+        // Iteration 0 fully persisted; iteration 1's clwb (event 4)
+        // persisted its line but the fence (event 5) was the trip; the
+        // second iteration's ntstore never ran.
+        assert_eq!(report.dirty_words, 0, "clwb already cleaned the line");
+        // While frozen, persistence is suppressed.
+        p.write_u64(ROOT_AREA + 1024, 7);
+        p.persist(ROOT_AREA + 1024, 8);
+        p.ntstore_u64(ROOT_AREA + 1032, 8);
+        p.crash();
+        assert_eq!(p.read_u64(ROOT_AREA + 1024), 0, "frozen clwb must not persist");
+        assert_eq!(p.read_u64(ROOT_AREA + 1032), 0, "frozen ntstore must not persist");
+        // Pre-crash durable state survived; post-trip events did not.
+        assert_eq!(p.read_u64(ROOT_AREA), 1);
+        assert_eq!(p.read_u64(ROOT_AREA + 8), 100);
+        assert_eq!(p.read_u64(ROOT_AREA + 64), 2, "clwb before the fatal fence persisted");
+        assert!(!p.crash_fired(), "crash() clears the frozen state");
+        assert!(p.crash_report().is_some(), "report survives crash()");
+    }
+
+    #[test]
+    fn crash_on_ntstore_suppresses_the_store() {
+        let p = pool(8192);
+        p.arm_crash_after(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.ntstore_u64(ROOT_AREA, 99);
+        }));
+        assert!(result.is_err());
+        assert_eq!(
+            p.crash_report().unwrap().trigger,
+            crate::PersistEventKind::Ntstore
+        );
+        p.crash();
+        assert_eq!(p.read_u64(ROOT_AREA), 0, "fatal ntstore never retired");
+    }
+
+    #[test]
+    fn disarm_cancels_pending_crash() {
+        let p = pool(8192);
+        p.arm_crash_after(3);
+        p.write_u64(ROOT_AREA, 1);
+        p.persist(ROOT_AREA, 8); // events 1, 2
+        assert_eq!(p.crash_events_remaining(), 1);
+        p.disarm_crash();
+        p.persist(ROOT_AREA, 8); // would have been the fatal event
+        assert!(!p.crash_fired());
+        assert!(p.crash_report().is_none());
+    }
+
+    #[test]
+    fn chaos_eviction_is_disabled_while_frozen() {
+        let p = PmPool::new(1 << 16, PmConfig::real().with_eviction_chaos(7));
+        p.arm_crash_after(1);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.sfence()));
+        assert!(p.crash_fired());
+        // A storm of unflushed writes while frozen: none may persist.
+        for i in 0..1000u64 {
+            p.write_u64(ROOT_AREA + i * 8, i + 1);
+        }
+        p.crash();
+        for i in 0..1000u64 {
+            assert_eq!(p.read_u64(ROOT_AREA + i * 8), 0);
+        }
+    }
+
+    #[test]
+    fn event_counter_is_monotonic_and_probe_friendly() {
+        let p = pool(8192);
+        let base = p.persist_event_count();
+        p.write_u64(ROOT_AREA, 1);
+        p.persist(ROOT_AREA, 8);
+        p.ntstore_u64(ROOT_AREA + 64, 2);
+        p.sfence();
+        assert_eq!(p.persist_event_count() - base, 4);
     }
 
     #[test]

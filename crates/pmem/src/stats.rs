@@ -30,6 +30,7 @@ struct Stripe {
     media_read_bytes: AtomicU64,
     media_write_bytes: AtomicU64,
     clwb: AtomicU64,
+    clwb_redundant: AtomicU64,
     ntstore: AtomicU64,
     fence: AtomicU64,
 }
@@ -95,6 +96,11 @@ impl PmStats {
     }
 
     #[inline]
+    pub(crate) fn count_clwb_redundant(&self) {
+        self.stripe().clwb_redundant.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
     pub(crate) fn count_ntstore(&self) {
         self.stripe().ntstore.fetch_add(1, Ordering::Relaxed);
     }
@@ -114,6 +120,7 @@ impl PmStats {
             out.media_read_bytes += s.media_read_bytes.load(Ordering::Relaxed);
             out.media_write_bytes += s.media_write_bytes.load(Ordering::Relaxed);
             out.clwb += s.clwb.load(Ordering::Relaxed);
+            out.clwb_redundant += s.clwb_redundant.load(Ordering::Relaxed);
             out.ntstore += s.ntstore.load(Ordering::Relaxed);
             out.fence += s.fence.load(Ordering::Relaxed);
         }
@@ -129,6 +136,7 @@ impl PmStats {
             s.media_read_bytes.store(0, Ordering::Relaxed);
             s.media_write_bytes.store(0, Ordering::Relaxed);
             s.clwb.store(0, Ordering::Relaxed);
+            s.clwb_redundant.store(0, Ordering::Relaxed);
             s.ntstore.store(0, Ordering::Relaxed);
             s.fence.store(0, Ordering::Relaxed);
         }
@@ -152,6 +160,9 @@ pub struct PmStatsSnapshot {
     pub media_write_bytes: u64,
     /// `clwb`/`clflushopt` instructions issued.
     pub clwb: u64,
+    /// Redundant write-backs: `clwb` calls whose covered cache lines
+    /// were all already clean (pmemcheck-style durability audit).
+    pub clwb_redundant: u64,
     /// Non-temporal stores issued.
     pub ntstore: u64,
     /// Store fences issued.
@@ -174,6 +185,7 @@ impl PmStatsSnapshot {
                 .media_write_bytes
                 .saturating_sub(earlier.media_write_bytes),
             clwb: self.clwb.saturating_sub(earlier.clwb),
+            clwb_redundant: self.clwb_redundant.saturating_sub(earlier.clwb_redundant),
             ntstore: self.ntstore.saturating_sub(earlier.ntstore),
             fence: self.fence.saturating_sub(earlier.fence),
         }

@@ -1,22 +1,38 @@
 //! Crash-consistency torture: repeatedly run a random workload against
-//! every PM index, pull the plug at a random point (with eviction
-//! chaos enabled so unflushed lines sometimes persist anyway), recover,
-//! and verify that exactly the acknowledged operations survived.
+//! every PM index and kill it two different ways per round:
+//!
+//! 1. **Mid-operation power loss** via the `pmem` crash-point injection
+//!    API — the pool is armed to fail at a pseudo-random persistence
+//!    event, so the plug is pulled *inside* an insert/update/remove,
+//!    between two flushes. Recovery must keep every acknowledged op and
+//!    leave the in-flight op atomic (fully applied or fully absent).
+//! 2. **End-of-workload power loss** (the classic torture): run to
+//!    completion, `crash()`, recover, verify exact equality.
+//!
+//! Eviction chaos stays enabled throughout, so unflushed lines
+//! sometimes persist anyway and recovery sees both worlds.
 //!
 //! ```sh
-//! cargo run --release --example crash_torture [rounds]
+//! cargo run --release --example crash_torture [rounds] [--kind <name>]
 //! ```
+//!
+//! `--kind` filters to one of fptree / nvtree / wbtree / bztree
+//! (default: all four).
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use pm_index_bench::bztree::{BzTree, BzTreeConfig};
+use pm_index_bench::crashpoint::{install_quiet_crash_hook, InflightAllowance, WorkloadOp};
 use pm_index_bench::fptree::{FpTree, FpTreeConfig};
 use pm_index_bench::index_api::RangeIndex;
 use pm_index_bench::nvtree::{NvTree, NvTreeConfig};
 use pm_index_bench::pmalloc::{AllocMode, PmAllocator};
-use pm_index_bench::pmem::{PmConfig, PmPool};
+use pm_index_bench::pmem::{CrashPointHit, PmConfig, PmPool};
 use pm_index_bench::wbtree::{WbTree, WbTreeConfig};
+
+const KINDS: [&str; 4] = ["fptree", "nvtree", "wbtree", "bztree"];
 
 fn create(kind: &str, alloc: Arc<PmAllocator>) -> Arc<dyn RangeIndex> {
     match kind {
@@ -38,6 +54,74 @@ fn recover(kind: &str, alloc: Arc<PmAllocator>) -> Arc<dyn RangeIndex> {
     }
 }
 
+fn gen_ops(seed: u64, n_ops: u64) -> Vec<WorkloadOp> {
+    let mut ops = Vec::with_capacity(n_ops as usize);
+    let mut x = seed | 1;
+    for i in 0..n_ops {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let k = (x >> 16) % 4_096;
+        ops.push(match x % 10 {
+            0..=5 => WorkloadOp::Insert(k, i),
+            6..=7 => WorkloadOp::Update(k, i + 1_000_000),
+            _ => WorkloadOp::Remove(k),
+        });
+    }
+    ops
+}
+
+fn apply(idx: &dyn RangeIndex, model: &mut BTreeMap<u64, u64>, op: WorkloadOp) {
+    match op {
+        WorkloadOp::Insert(k, v) => {
+            if idx.insert(k, v) {
+                model.insert(k, v);
+            }
+        }
+        WorkloadOp::Update(k, v) => {
+            if idx.update(k, v) {
+                *model.get_mut(&k).expect("update ack implies present") = v;
+            }
+        }
+        WorkloadOp::Remove(k) => {
+            if idx.remove(k) {
+                model.remove(&k).expect("remove ack implies present");
+            }
+        }
+    }
+}
+
+fn verify(kind: &str, idx: &dyn RangeIndex, model: &BTreeMap<u64, u64>, inflight: Option<InflightAllowance>) {
+    for (&k, &v) in model {
+        if inflight.map(|a| a.key) == Some(k) {
+            continue;
+        }
+        assert_eq!(idx.lookup(k), Some(v), "{kind}: key {k} lost or stale");
+    }
+    if let Some(a) = inflight {
+        assert!(
+            a.allows(idx.lookup(a.key)),
+            "{kind}: in-flight key {} not atomic (found {:?}, allowed {:?}/{:?})",
+            a.key,
+            idx.lookup(a.key),
+            a.pre,
+            a.post
+        );
+    }
+    let mut out = Vec::new();
+    idx.scan(0, 100_000, &mut out);
+    assert!(
+        out.windows(2).all(|w| w[0].0 < w[1].0),
+        "{kind}: scan order"
+    );
+    for (k, v) in out {
+        match inflight {
+            Some(a) if a.key == k => assert!(a.allows(Some(v)), "{kind}: in-flight ghost {k}"),
+            _ => assert_eq!(model.get(&k), Some(&v), "{kind}: ghost record {k} after crash"),
+        }
+    }
+}
+
 fn torture(kind: &str, round: u64) {
     let seed = round.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let pool = Arc::new(PmPool::new(
@@ -47,63 +131,87 @@ fn torture(kind: &str, round: u64) {
     let alloc = PmAllocator::format(pool.clone(), AllocMode::General);
     let idx = create(kind, alloc);
 
-    // Apply a random op stream; remember every acknowledged effect.
-    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
-    let mut x = seed | 1;
     let n_ops = 2_000 + (seed % 3_000);
-    for i in 0..n_ops {
-        x = x
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        let k = (x >> 16) % 4_096;
-        match x % 10 {
-            0..=5 => {
-                if idx.insert(k, i) {
-                    model.insert(k, i);
-                }
+    let ops = gen_ops(seed, n_ops);
+
+    // Phase 1: arm a mid-operation power failure at a pseudo-random
+    // persistence event, then replay; the armed event count is small
+    // enough that the crash reliably fires inside the stream.
+    pool.arm_crash_after(1 + (seed.rotate_left(17) % (n_ops * 2)));
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut inflight = None;
+    for &op in &ops {
+        let allowance = InflightAllowance::for_op(op, &model);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| apply(&*idx, &mut model, op))) {
+            if payload.downcast_ref::<CrashPointHit>().is_none() {
+                resume_unwind(payload);
             }
-            6..=7 => {
-                if idx.update(k, i + 1_000_000) {
-                    *model.get_mut(&k).expect("update ack implies present") = i + 1_000_000;
-                }
-            }
-            _ => {
-                if idx.remove(k) {
-                    model.remove(&k).expect("remove ack implies present");
-                }
-            }
+            inflight = Some(allowance);
+            break;
         }
+    }
+    if inflight.is_none() {
+        pool.disarm_crash();
     }
 
     // Pull the plug and recover.
     drop(idx);
     pool.crash();
+    let alloc = PmAllocator::recover(pool.clone(), AllocMode::General);
+    let idx = recover(kind, alloc);
+    verify(kind, &*idx, &model, inflight);
+
+    // The in-flight op may have landed either way; sync the model with
+    // whichever atomic outcome the recovered tree kept.
+    if let Some(a) = inflight {
+        match idx.lookup(a.key) {
+            Some(v) => model.insert(a.key, v),
+            None => model.remove(&a.key),
+        };
+    }
+
+    // Phase 2: finish the remaining workload on the recovered tree,
+    // then the classic end-of-workload plug pull with exact verify.
+    for &op in &ops {
+        apply(&*idx, &mut model, op);
+    }
+    drop(idx);
+    pool.crash();
     let alloc = PmAllocator::recover(pool, AllocMode::General);
     let idx = recover(kind, alloc);
-
-    // Every acknowledged op must have survived, nothing else.
-    for (&k, &v) in &model {
-        assert_eq!(idx.lookup(k), Some(v), "{kind}: key {k} lost or stale");
-    }
-    let mut out = Vec::new();
-    idx.scan(0, 100_000, &mut out);
-    assert_eq!(out.len(), model.len(), "{kind}: ghost records after crash");
-    assert!(
-        out.windows(2).all(|w| w[0].0 < w[1].0),
-        "{kind}: scan order"
-    );
+    verify(kind, &*idx, &model, None);
 }
 
 fn main() {
-    let rounds: u64 = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rounds: u64 = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
         .and_then(|a| a.parse().ok())
         .unwrap_or(5);
-    for kind in ["fptree", "nvtree", "wbtree", "bztree"] {
+    let kinds: Vec<&str> = match args.iter().position(|a| a == "--kind") {
+        Some(i) => {
+            let kind = args.get(i + 1).map(String::as_str).unwrap_or("");
+            match KINDS.iter().find(|k| **k == kind) {
+                Some(k) => vec![*k],
+                None => {
+                    eprintln!("--kind expects one of {KINDS:?}, got {kind:?}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => KINDS.to_vec(),
+    };
+
+    install_quiet_crash_hook();
+    for kind in &kinds {
         for round in 0..rounds {
             torture(kind, round);
         }
-        println!("{kind}: {rounds} crash rounds survived ✓");
+        println!("{kind}: {rounds} crash rounds survived ✓ (mid-op injection + plug pull)");
     }
-    println!("all indexes crash-consistent across {rounds} random workloads");
+    println!(
+        "{} crash-consistent across {rounds} random workloads",
+        kinds.join(", ")
+    );
 }

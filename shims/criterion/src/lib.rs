@@ -1,0 +1,211 @@
+//! Minimal vendored stand-in for `criterion`, providing the surface
+//! this workspace's `benches/micro.rs` uses. It performs real (if
+//! statistically unsophisticated) timing: warm-up, then timed batches
+//! until the measurement budget is spent, reporting mean ns/iter.
+
+use std::time::{Duration, Instant};
+
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        run_bench(self, &id, f);
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_bench(self.criterion, &id, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// How `iter_batched` amortizes setup; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    /// Iterations to run in the next timed pass.
+    iters: u64,
+    /// Measured wall time of the pass.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let inputs: Vec<I> = (0..self.iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            std::hint::black_box(routine(input));
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut inputs: Vec<I> = (0..self.iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in &mut inputs {
+            std::hint::black_box(routine(input));
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(c: &Criterion, id: &str, mut f: impl FnMut(&mut Bencher)) {
+    // Warm-up: also calibrates how many iterations fit in one sample.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_start.elapsed() < c.warm_up_time {
+        f(&mut b);
+        per_iter = (b.elapsed / b.iters.max(1) as u32).max(Duration::from_nanos(1));
+        // Grow the batch until one call is ~1/10 of the warm-up budget.
+        let target = c.warm_up_time / 10;
+        let want = (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+        if b.iters >= want {
+            break;
+        }
+        b.iters = want;
+    }
+
+    let sample_budget = c.measurement_time / c.sample_size.max(1) as u32;
+    let iters_per_sample =
+        (sample_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+
+    let mut total_iters = 0u64;
+    let mut total_time = Duration::ZERO;
+    let measure_start = Instant::now();
+    let mut samples = Vec::with_capacity(c.sample_size);
+    while samples.len() < c.sample_size && measure_start.elapsed() < c.measurement_time {
+        b.iters = iters_per_sample;
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        total_iters += b.iters;
+        total_time += b.elapsed;
+    }
+
+    let mean = if total_iters > 0 {
+        total_time.as_nanos() as f64 / total_iters as f64
+    } else {
+        f64::NAN
+    };
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples.get(samples.len() / 2).copied().unwrap_or(f64::NAN);
+    println!("{id:<48} mean {mean:>12.1} ns/iter  median {median:>12.1} ns/iter  ({} samples)", samples.len());
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_terminates_quickly() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(10))
+            .measurement_time(Duration::from_millis(30));
+        let mut g = c.benchmark_group("smoke");
+        let mut x = 0u64;
+        g.bench_function("add", |b| b.iter(|| x = x.wrapping_add(1)));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 3u64, |v| v * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

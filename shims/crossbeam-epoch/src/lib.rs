@@ -1,0 +1,366 @@
+//! Minimal vendored stand-in for `crossbeam-epoch`, providing the
+//! surface this workspace uses: `pin`, `Guard::{defer, defer_destroy}`,
+//! `Atomic`, `Owned`, `Shared` and `unprotected`.
+//!
+//! Reclamation strategy: instead of upstream's per-thread epoch
+//! machinery, deferred closures are tagged with a global sequence
+//! number taken at `defer` time and executed once no *active* guard
+//! was pinned at or before that tag. This is strictly more
+//! conservative than epoch-based reclamation (a closure never runs
+//! while any guard that could have observed the unlinked pointer is
+//! still pinned), at the cost of a global mutex on pin/unpin — an
+//! acceptable trade for a test/bench substrate whose deferred work is
+//! rare (SMO garbage only).
+
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+use std::mem;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------------
+// Global registry
+// ---------------------------------------------------------------------------
+
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(1);
+
+struct Registry {
+    /// Sequence numbers of currently pinned guards.
+    active: BTreeSet<u64>,
+    /// Deferred closures tagged with the sequence current at defer time.
+    deferred: Vec<(u64, Box<dyn FnOnce() + Send>)>,
+}
+
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+    let mut slot = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+    let reg = slot.get_or_insert_with(|| Registry {
+        active: BTreeSet::new(),
+        deferred: Vec::new(),
+    });
+    f(reg)
+}
+
+/// Run every deferred closure whose tag precedes the oldest active
+/// guard. Closures run outside the registry lock so they may pin.
+fn collect() {
+    let ready: Vec<Box<dyn FnOnce() + Send>> = with_registry(|reg| {
+        let min_active = reg.active.iter().next().copied().unwrap_or(u64::MAX);
+        let mut ready = Vec::new();
+        let mut keep = Vec::new();
+        for (tag, f) in reg.deferred.drain(..) {
+            if tag < min_active {
+                ready.push(f);
+            } else {
+                keep.push((tag, f));
+            }
+        }
+        reg.deferred = keep;
+        ready
+    });
+    for f in ready {
+        f();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Guard
+// ---------------------------------------------------------------------------
+
+/// A pinned region. Dropping the guard unpins and may run deferred
+/// closures that became unreachable.
+pub struct Guard {
+    /// `None` for the `unprotected()` guard.
+    seq: Option<u64>,
+}
+
+/// Pin the current thread.
+pub fn pin() -> Guard {
+    let seq = NEXT_SEQ.fetch_add(1, Ordering::Relaxed);
+    with_registry(|reg| {
+        reg.active.insert(seq);
+    });
+    Guard { seq: Some(seq) }
+}
+
+/// Returns a guard that performs no pinning; deferred functions run
+/// immediately (upstream semantics).
+///
+/// # Safety
+/// The caller must guarantee no other thread can concurrently access
+/// the data structures touched through this guard.
+pub unsafe fn unprotected() -> &'static Guard {
+    static UNPROTECTED: Guard = Guard { seq: None };
+    &UNPROTECTED
+}
+
+impl Guard {
+    /// Defer `f` until all currently pinned guards are dropped.
+    pub fn defer<F, R>(&self, f: F)
+    where
+        F: FnOnce() -> R,
+        F: Send + 'static,
+    {
+        match self.seq {
+            None => {
+                f();
+            }
+            Some(_) => {
+                let tag = NEXT_SEQ.fetch_add(1, Ordering::Relaxed);
+                with_registry(|reg| {
+                    reg.deferred.push((
+                        tag,
+                        Box::new(move || {
+                            f();
+                        }),
+                    ));
+                });
+            }
+        }
+    }
+
+    /// Defer dropping the heap allocation behind `ptr`.
+    ///
+    /// # Safety
+    /// `ptr` must have originated from `Owned::new` / `Owned::into_*`
+    /// and must not be reachable by readers after the current epoch.
+    pub unsafe fn defer_destroy<T: 'static>(&self, ptr: Shared<'_, T>) {
+        let raw = ptr.raw as usize;
+        if raw == 0 {
+            return;
+        }
+        self.defer(move || {
+            drop(unsafe { Box::from_raw(raw as *mut T) });
+        });
+    }
+
+    /// Flush/repin hooks kept for API compatibility.
+    pub fn flush(&self) {
+        collect();
+    }
+}
+
+impl Drop for Guard {
+    fn drop(&mut self) {
+        if let Some(seq) = self.seq {
+            with_registry(|reg| {
+                reg.active.remove(&seq);
+            });
+            collect();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pointer types
+// ---------------------------------------------------------------------------
+
+/// An owned heap allocation that can be published into an [`Atomic`].
+pub struct Owned<T> {
+    raw: *mut T,
+}
+
+impl<T> Owned<T> {
+    pub fn new(value: T) -> Self {
+        Owned {
+            raw: Box::into_raw(Box::new(value)),
+        }
+    }
+
+    pub fn into_box(self) -> Box<T> {
+        let b = unsafe { Box::from_raw(self.raw) };
+        mem::forget(self);
+        b
+    }
+
+    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+        let raw = self.raw;
+        mem::forget(self);
+        Shared {
+            raw,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        drop(unsafe { Box::from_raw(self.raw) });
+    }
+}
+
+impl<T> std::ops::Deref for Owned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.raw }
+    }
+}
+
+/// A pointer observed under a guard. Copyable; may be null.
+pub struct Shared<'g, T> {
+    raw: *mut T,
+    _marker: PhantomData<(&'g (), *mut T)>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    pub fn null() -> Self {
+        Shared {
+            raw: ptr::null_mut(),
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        self.raw.is_null()
+    }
+
+    pub fn as_raw(&self) -> *const T {
+        self.raw
+    }
+
+    /// # Safety
+    /// The pointer must be valid for the guard's lifetime.
+    pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        unsafe { self.raw.as_ref() }
+    }
+
+    /// # Safety
+    /// The pointer must be non-null and valid for the guard's lifetime.
+    pub unsafe fn deref(&self) -> &'g T {
+        unsafe { &*self.raw }
+    }
+
+    /// # Safety
+    /// The caller must own the allocation exclusively.
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        debug_assert!(!self.raw.is_null());
+        Owned { raw: self.raw }
+    }
+}
+
+/// Conversion into a raw pointer for publication (upstream's
+/// `Pointer<T>` trait).
+pub trait Pointer<T> {
+    fn into_raw(self) -> *mut T;
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_raw(self) -> *mut T {
+        let raw = self.raw;
+        mem::forget(self);
+        raw
+    }
+}
+
+impl<T> Pointer<T> for Shared<'_, T> {
+    fn into_raw(self) -> *mut T {
+        self.raw
+    }
+}
+
+/// An atomic nullable pointer to a heap allocation.
+pub struct Atomic<T> {
+    ptr: AtomicPtr<T>,
+}
+
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    pub fn null() -> Self {
+        Atomic {
+            ptr: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    pub fn new(value: T) -> Self {
+        Atomic {
+            ptr: AtomicPtr::new(Box::into_raw(Box::new(value))),
+        }
+    }
+
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            raw: self.ptr.load(ord),
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn store<P: Pointer<T>>(&self, new: P, ord: Ordering) {
+        self.ptr.store(new.into_raw(), ord);
+    }
+
+    pub fn swap<'g, P: Pointer<T>>(&self, new: P, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            raw: self.ptr.swap(new.into_raw(), ord),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Default for Atomic<T> {
+    fn default() -> Self {
+        Atomic::null()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn deferred_runs_after_last_guard_drops() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let outer = pin();
+        {
+            let inner = pin();
+            let r = ran.clone();
+            inner.defer(move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            });
+            drop(inner);
+            // Outer guard predates the defer tag: must not run yet.
+            assert_eq!(ran.load(Ordering::SeqCst), 0);
+        }
+        drop(outer);
+        // Trigger a collection cycle.
+        drop(pin());
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn atomic_swap_and_destroy() {
+        let a: Atomic<u64> = Atomic::null();
+        let g = pin();
+        a.store(Owned::new(5), Ordering::Release);
+        let s = a.load(Ordering::Acquire, &g);
+        assert_eq!(unsafe { s.as_ref() }, Some(&5));
+        let old = a.swap(Owned::new(6), Ordering::AcqRel, &g);
+        unsafe { g.defer_destroy(old) };
+        drop(g);
+        let g = pin();
+        let s = a.swap(Shared::null(), Ordering::AcqRel, &g);
+        drop(unsafe { s.into_owned() });
+    }
+
+    #[test]
+    fn unprotected_defer_runs_immediately() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = ran.clone();
+        unsafe { unprotected() }.defer(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+}

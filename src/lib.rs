@@ -11,7 +11,10 @@
 //! - [`index_api`]: the common range-index interface,
 //! - the four evaluated indexes: [`fptree`], [`nvtree`], [`wbtree`],
 //!   [`bztree`], plus the volatile [`dram_index`] baseline,
-//! - [`pibench`]: the benchmarking framework.
+//! - [`pibench`]: the benchmarking framework,
+//! - [`crashpoint`]: systematic crash-point exploration — deterministic
+//!   power failure at every persistence-event boundary, with recovery
+//!   verification and a durability audit.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 //!
@@ -41,6 +44,7 @@
 //! ```
 
 pub use bztree;
+pub use crashpoint;
 pub use dram_index;
 pub use fptree;
 pub use htm;

@@ -1,0 +1,145 @@
+//! Crash-point exploration matrix plus recovery edge cases.
+//!
+//! The exploration tests drive `crates/crashpoint`: a deterministic
+//! mixed workload is crashed at persistence-event boundaries, recovered
+//! and verified against the oracle invariant ("exactly acknowledged
+//! operations survive; the in-flight operation is atomic"). These runs
+//! are strided to stay fast; the full boundary-by-boundary matrix runs
+//! via `cargo run --release --example pm_inspector -- crashpoints`.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::{create_small, recover_small, PM_KINDS};
+use pm_index_bench::crashpoint::{explore, ExploreOptions};
+use pm_index_bench::pmalloc::{AllocMode, PmAllocator};
+use pm_index_bench::pmem::{PmConfig, PmPool};
+
+fn sweep(kind: &str, chaos: bool) {
+    let opts = ExploreOptions {
+        kind: kind.to_string(),
+        ops: 100,
+        key_range: 64,
+        seed: 3,
+        pool_mib: 16,
+        chaos_seed: chaos.then_some(0xC4A05),
+        stride: 5,
+        max_boundaries: None,
+    };
+    let summary = explore(&opts);
+    assert!(summary.total_events > 0, "{kind}: empty boundary space");
+    assert!(
+        summary.crashes_fired > 0,
+        "{kind} chaos={chaos}: injection never fired"
+    );
+    assert!(
+        summary.is_green(),
+        "{kind} chaos={chaos}: {} oracle violations, first: {:?}",
+        summary.failures.len(),
+        summary.failures.first()
+    );
+}
+
+#[test]
+fn crash_at_every_strided_boundary_recovers() {
+    for kind in PM_KINDS {
+        sweep(kind, false);
+    }
+}
+
+#[test]
+fn crash_at_every_strided_boundary_recovers_under_eviction_chaos() {
+    for kind in PM_KINDS {
+        sweep(kind, true);
+    }
+}
+
+#[test]
+fn durability_audit_never_sees_huge_unflushed_state() {
+    // The dirty-line count at any crash point bounds how much
+    // acknowledged-but-unflushed state *could* exist. It must stay small
+    // (a handful of lines under mutation), never O(dataset).
+    for kind in PM_KINDS {
+        let opts = ExploreOptions {
+            kind: kind.to_string(),
+            ops: 80,
+            key_range: 48,
+            seed: 5,
+            pool_mib: 16,
+            chaos_seed: None,
+            stride: 9,
+            max_boundaries: None,
+        };
+        let summary = explore(&opts);
+        assert!(summary.is_green(), "{kind}: {:?}", summary.failures.first());
+        assert!(
+            summary.max_dirty_lines < 4_096,
+            "{kind}: {} dirty lines at a crash point — unflushed state is unbounded",
+            summary.max_dirty_lines
+        );
+    }
+}
+
+#[test]
+fn recovering_a_zero_op_pool_twice_is_idempotent() {
+    // Format, crash immediately (zero operations), recover, crash again
+    // without doing anything, recover again: still empty, still usable.
+    for kind in PM_KINDS {
+        let pool = Arc::new(PmPool::new(16 << 20, PmConfig::real()));
+        let alloc = PmAllocator::format(pool.clone(), AllocMode::General);
+        let idx = create_small(kind, alloc);
+        drop(idx);
+        pool.crash();
+
+        let alloc = PmAllocator::recover(pool.clone(), AllocMode::General);
+        let idx = recover_small(kind, alloc);
+        let mut out = Vec::new();
+        assert_eq!(idx.scan(0, 100, &mut out), 0, "{kind}: first recovery");
+        drop(idx);
+        pool.crash();
+
+        let alloc = PmAllocator::recover(pool, AllocMode::General);
+        let idx = recover_small(kind, alloc);
+        assert_eq!(idx.scan(0, 100, &mut out), 0, "{kind}: second recovery");
+        assert_eq!(idx.lookup(9), None, "{kind}");
+        assert!(idx.insert(9, 90), "{kind}: unusable after double recovery");
+        assert_eq!(idx.lookup(9), Some(90), "{kind}");
+    }
+}
+
+#[test]
+fn recovering_twice_with_no_intervening_ops_is_idempotent() {
+    // Recovery must not mutate acknowledged state: recover, snapshot,
+    // crash without writing, recover again — identical contents.
+    for kind in PM_KINDS {
+        let pool = Arc::new(PmPool::new(32 << 20, PmConfig::real()));
+        let alloc = PmAllocator::format(pool.clone(), AllocMode::General);
+        let idx = create_small(kind, alloc);
+        for k in 0..800u64 {
+            idx.insert(k * 3, k);
+        }
+        for k in 0..200u64 {
+            idx.remove(k * 6);
+        }
+        drop(idx);
+        pool.crash();
+
+        let alloc = PmAllocator::recover(pool.clone(), AllocMode::General);
+        let idx = recover_small(kind, alloc);
+        let mut first = Vec::new();
+        idx.scan(0, usize::MAX >> 1, &mut first);
+        drop(idx);
+        pool.crash();
+
+        let alloc = PmAllocator::recover(pool, AllocMode::General);
+        let idx = recover_small(kind, alloc);
+        let mut second = Vec::new();
+        idx.scan(0, usize::MAX >> 1, &mut second);
+        assert_eq!(
+            first, second,
+            "{kind}: recovery is not idempotent — a second recover changed state"
+        );
+        assert!(idx.insert(u64::MAX - 1, 1), "{kind}: unusable");
+    }
+}
