@@ -6,6 +6,7 @@ use std::sync::Arc;
 use crossbeam_epoch as epoch;
 use index_api::{Footprint, Key, RangeIndex, Value};
 use pmalloc::PmAllocator;
+use pmem::MediaError;
 use pmwcas::{PmwCas, WordDescriptor};
 
 use crate::node::{
@@ -80,9 +81,26 @@ impl BzTree {
     /// Reopen after a crash: PMwCAS recovery makes every word
     /// consistent (instant recovery — no index rebuild), then a
     /// reachability sweep reclaims nodes leaked by interrupted SMOs.
+    /// Panics on a media error; use [`BzTree::try_recover`] to handle
+    /// poisoned lines gracefully.
     pub fn recover(alloc: Arc<PmAllocator>, cfg: BzTreeConfig) -> Arc<BzTree> {
-        let mw = PmwCas::recover(&alloc);
+        Self::try_recover(alloc, cfg).unwrap_or_else(|e| panic!("BzTree recovery failed: {e}"))
+    }
+
+    /// Fallible recovery: probes the root/config slots and every node
+    /// visited by the reachability sweep for media errors before
+    /// reading it, so a poisoned line surfaces as a reported
+    /// [`MediaError`], never as garbage routing entries.
+    pub fn try_recover(
+        alloc: Arc<PmAllocator>,
+        cfg: BzTreeConfig,
+    ) -> Result<Arc<BzTree>, MediaError> {
+        let mw = PmwCas::try_recover(&alloc)?;
         let layout = BzLayout::new(cfg.node_entries);
+        alloc
+            .pool()
+            .check_readable(SLOT_ROOT * 8, 16)
+            .map_err(|e| e.context("BzTree root slots"))?;
         assert_eq!(
             alloc.pool().read_u64(SLOT_CFG * 8) as usize,
             cfg.node_entries,
@@ -104,6 +122,10 @@ impl BzTree {
             if !reachable.insert(n) {
                 continue;
             }
+            t.alloc
+                .pool()
+                .check_readable(n, t.layout.size)
+                .map_err(|e| e.context("BzTree node"))?;
             let (is_leaf, sorted) = read_info(&t.mw, &t.layout, n);
             if !is_leaf {
                 for i in 0..sorted {
@@ -120,7 +142,7 @@ impl BzTree {
         for off in leaked {
             t.alloc.free(off);
         }
-        Arc::new(t)
+        Ok(Arc::new(t))
     }
 
     /// The PMwCAS runtime (exposed for experiments).

@@ -19,6 +19,36 @@
 //!    applied or fully absent)* — plus index well-formedness (sorted,
 //!    duplicate-free scans) and post-recovery usability.
 //!
+//! ## Residual-image models
+//!
+//! The frozen image (only explicitly flushed lines survive) is one
+//! legal outcome of a power cut; on real hardware, any subset of the
+//! dirty-but-unflushed cache lines may also have reached media. Each
+//! boundary can therefore be verified under several residual images
+//! without replaying the workload — the harness snapshots the persisted
+//! image and the dirty-line candidates at the trip instant, then per
+//! sample restores the snapshot and applies a [`ResidualPolicy`]-chosen
+//! subset (see [`ResidualConfig`]):
+//!
+//! * **Frozen** — the pessimistic baseline above, always included.
+//! * **Sampled** — seeded random subsets, each dirty line persisting
+//!   independently with probability `p`; any failure replays from its
+//!   printed seed.
+//! * **Exhaustive** — all `2^j` subsets of the `j` most-recently-written
+//!   lines (candidates are recency-ordered), the complete torn-write
+//!   space of the in-flight operation's write frontier.
+//!
+//! With `poison` set, one line that *failed* to persist comes back
+//! unreadable (an emulated media error): recovery must detect it via
+//! the fallible `try_recover` paths and report a [`MediaError`] —
+//! returning garbage, or letting the raw [`PoisonedRead`] machine-check
+//! escape, is a failure.
+//!
+//! The [`mt`] module arms the same injection while 2–8 threads hammer
+//! one shared index (halt-on-crash cuts the survivors down), then
+//! checks a relaxed oracle: acknowledged operations survive, each
+//! thread's in-flight operation is atomic, no torn values.
+//!
 //! A durability audit rides along: each crash snapshots the number of
 //! written-but-unflushed words/lines and the cumulative redundant-flush
 //! count, so acknowledged-but-unflushed state is caught even when it
@@ -32,10 +62,15 @@ use bztree::{BzTree, BzTreeConfig};
 use fptree::{FpTree, FpTreeConfig};
 use index_api::RangeIndex;
 use pmalloc::{AllocMode, PmAllocator};
-use pmem::{CrashPointHit, CrashReport, PersistEventKind, PmConfig, PmPool};
+use pmem::{
+    CrashPointHit, CrashReport, MediaError, PersistEventKind, PmConfig, PmPool, PoisonedRead,
+    ResidualPolicy,
+};
 
 use nvtree::{NvTree, NvTreeConfig};
 use wbtree::{WbTree, WbTreeConfig};
+
+pub mod mt;
 
 /// The four persistent indexes the explorer knows how to build.
 pub const PM_KINDS: [&str; 4] = ["fptree", "nvtree", "wbtree", "bztree"];
@@ -78,40 +113,61 @@ pub fn build_index(kind: &str, alloc: Arc<PmAllocator>) -> Arc<dyn RangeIndex> {
     }
 }
 
-/// Recovery entry point matching [`build_index`].
+/// Recovery entry point matching [`build_index`]. Panics on a media
+/// error; see [`try_recover_index`].
 pub fn recover_index(kind: &str, alloc: Arc<PmAllocator>) -> Arc<dyn RangeIndex> {
-    match kind {
-        "fptree" => FpTree::recover(
+    try_recover_index(kind, alloc).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible recovery entry point matching [`build_index`]: a poisoned
+/// line on the recovery path comes back as a reported [`MediaError`]
+/// instead of garbage or a raw [`PoisonedRead`] panic.
+pub fn try_recover_index(
+    kind: &str,
+    alloc: Arc<PmAllocator>,
+) -> Result<Arc<dyn RangeIndex>, MediaError> {
+    Ok(match kind {
+        "fptree" => FpTree::try_recover(
             alloc,
             FpTreeConfig {
                 leaf_entries: 16,
                 inner_fanout: 8,
                 ..FpTreeConfig::default()
             },
-        ),
-        "nvtree" => NvTree::recover(
+        )? as Arc<dyn RangeIndex>,
+        "nvtree" => NvTree::try_recover(
             alloc,
             NvTreeConfig {
                 leaf_entries: 16,
                 pln_entries: 16,
             },
-        ),
-        "wbtree" => WbTree::recover(
+        )?,
+        "wbtree" => WbTree::try_recover(
             alloc,
             WbTreeConfig {
                 node_entries: 8,
                 use_slot_array: true,
             },
-        ),
-        "bztree" => BzTree::recover(
+        )?,
+        "bztree" => BzTree::try_recover(
             alloc,
             BzTreeConfig {
                 node_entries: 16,
                 split_threshold_pct: 70,
             },
-        ),
+        )?,
         other => panic!("unknown PM index kind: {other}"),
-    }
+    })
+}
+
+/// Recover the full stack (allocator + index) from the pool's persisted
+/// image, reporting the first media error hit on either layer.
+pub fn try_recover_stack(
+    kind: &str,
+    pool: Arc<PmPool>,
+) -> Result<Arc<dyn RangeIndex>, MediaError> {
+    let alloc = PmAllocator::try_recover(pool, AllocMode::General)?;
+    try_recover_index(kind, alloc)
 }
 
 // ---------------------------------------------------------------------------
@@ -167,7 +223,7 @@ pub fn workload(seed: u64, n_ops: u64, key_range: u64) -> Vec<WorkloadOp> {
 
 /// Apply one op, returning whether it was acknowledged, and fold the
 /// acknowledged effect into the oracle model.
-fn apply_op(idx: &dyn RangeIndex, model: &mut BTreeMap<u64, u64>, op: WorkloadOp) -> bool {
+pub(crate) fn apply_op(idx: &dyn RangeIndex, model: &mut BTreeMap<u64, u64>, op: WorkloadOp) -> bool {
     match op {
         WorkloadOp::Insert(k, v) => {
             let acked = idx.insert(k, v);
@@ -216,6 +272,80 @@ pub fn install_quiet_crash_hook() {
 // Exploration
 // ---------------------------------------------------------------------------
 
+/// How the post-crash image is constructed at each explored boundary.
+///
+/// `Frozen` is the PR-1 model: only flushed lines survive. `Sampled`
+/// draws `samples` independent residual images per boundary, each
+/// persisting every dirty-but-unflushed line with probability
+/// `p_per_256 / 256` (torn multi-line structures). `Exhaustive`
+/// enumerates *all* `2^j` subsets of the `j = min(k, max_lines)`
+/// most-recently-written dirty lines (the in-flight operation's write
+/// frontier) — the complete torn-write space when `k <= max_lines` —
+/// plus seeded samples over the full set when older lines remain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResidualConfig {
+    /// Only flushed lines survive (the frozen persisted image).
+    Frozen,
+    /// `samples` seeded random subsets per boundary (plus the frozen
+    /// baseline), each line kept with probability `p_per_256 / 256`.
+    Sampled { samples: u32, p_per_256: u32 },
+    /// All `2^j` subsets of the `j = min(k, max_lines)` most recent
+    /// dirty lines; when `k > max_lines`, also `fallback_samples`
+    /// seeded 50% samples over the full candidate set.
+    Exhaustive { max_lines: u32, fallback_samples: u32 },
+}
+
+/// Derive the per-sample seed from the sweep seed, boundary and sample
+/// index (splitmix64 finalizer — decorrelates consecutive inputs).
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The residual policies to run for one boundary with `k` dirty-line
+/// candidates. Returns the policy list and whether it is exhaustive.
+pub(crate) fn sample_policies(
+    cfg: ResidualConfig,
+    sweep_seed: u64,
+    boundary: u64,
+    k: usize,
+) -> (Vec<ResidualPolicy>, bool) {
+    let seeded = |n: u32, p: u32| -> Vec<ResidualPolicy> {
+        let mut v = vec![ResidualPolicy::Frozen];
+        v.extend((0..n).map(|s| ResidualPolicy::Sampled {
+            seed: mix64(sweep_seed ^ mix64(boundary) ^ s as u64),
+            p_per_256: p,
+        }));
+        v
+    };
+    match cfg {
+        ResidualConfig::Frozen => (vec![ResidualPolicy::Frozen], false),
+        ResidualConfig::Sampled { samples, p_per_256 } => (seeded(samples, p_per_256), false),
+        ResidualConfig::Exhaustive {
+            max_lines,
+            fallback_samples,
+        } => {
+            // Candidates are recency-ordered (pmem sorts them most
+            // recently written first), so enumerating masks over the
+            // first j lines covers every residual image of the write
+            // frontier. With k <= j that is the complete torn-write
+            // space; beyond that, seeded samples stress the older
+            // (long-unflushed) lines too.
+            let j = k.min(max_lines.min(16) as usize);
+            let mut v: Vec<ResidualPolicy> = (0..(1u64 << j))
+                .map(|mask| ResidualPolicy::Subset { mask })
+                .collect();
+            if k > j {
+                v.extend(seeded(fallback_samples, 128).into_iter().skip(1));
+            }
+            (v, true)
+        }
+    }
+}
+
 /// Parameters of one exploration sweep.
 #[derive(Debug, Clone)]
 pub struct ExploreOptions {
@@ -235,6 +365,12 @@ pub struct ExploreOptions {
     pub stride: u64,
     /// Cap on explored boundaries (None = all).
     pub max_boundaries: Option<u64>,
+    /// Post-crash image model (see [`ResidualConfig`]).
+    pub residual: ResidualConfig,
+    /// Additionally poison one lost line per sampled image, and require
+    /// recovery to either succeed without touching it or report a
+    /// [`MediaError`] — never return garbage.
+    pub poison: bool,
 }
 
 impl Default for ExploreOptions {
@@ -248,6 +384,8 @@ impl Default for ExploreOptions {
             chaos_seed: None,
             stride: 1,
             max_boundaries: None,
+            residual: ResidualConfig::Frozen,
+            poison: false,
         }
     }
 }
@@ -261,11 +399,17 @@ pub struct OpEventStats {
     pub events: u64,
 }
 
-/// A boundary whose recovered state violated the oracle invariant.
+/// A boundary+sample whose recovered state violated the oracle
+/// invariant. `policy` and `poisoned_off` pin down the exact residual
+/// image, so `--seed` + boundary + policy reproduce the failure.
 #[derive(Debug, Clone)]
 pub struct BoundaryFailure {
     /// The armed boundary (1-based persistence-event index after setup).
     pub boundary: u64,
+    /// The residual policy of the failing sample.
+    pub policy: ResidualPolicy,
+    /// Line poisoned in the failing sample, if any.
+    pub poisoned_off: Option<u64>,
     /// Crash audit at the trip, if the crash fired.
     pub report: Option<CrashReport>,
     /// Human-readable description of the violation.
@@ -298,6 +442,19 @@ pub struct ExploreSummary {
     pub probe_redundant_clwb: u64,
     /// Probe-run event footprint per op type.
     pub per_op: BTreeMap<&'static str, OpEventStats>,
+    /// Residual samples recovered and verified (≥ boundaries when
+    /// sampling is on).
+    pub samples_run: u64,
+    /// Boundaries that received exhaustive subset enumeration of the
+    /// write frontier (all `2^j` masks over the most recent lines).
+    pub exhaustive_boundaries: u64,
+    /// Largest residual candidate set (dirty lines) at any crash.
+    pub max_residual_candidates: u64,
+    /// Samples that had a line poisoned.
+    pub poison_injected: u64,
+    /// Poisoned samples where recovery reported the media error (the
+    /// rest recovered without ever touching the poisoned line).
+    pub poison_reported: u64,
     /// Oracle violations (empty = the index survived every window).
     pub failures: Vec<BoundaryFailure>,
 }
@@ -360,18 +517,20 @@ impl InflightAllowance {
 
 /// Verify the recovered index against the oracle model.
 ///
-/// `inflight` is the operation that was cut mid-flight (None when the
-/// run completed); its key may be in either its pre- or post-state,
-/// every other key must match the model exactly, and the index must
-/// remain well-formed and writable.
+/// `inflight` holds the operations that were cut mid-flight — one per
+/// workload thread at most (empty when the run completed). Each
+/// in-flight key may be in either its pre- or post-state, every other
+/// key must match the model exactly, and the index must remain
+/// well-formed and writable.
 pub fn verify_recovered(
     idx: &dyn RangeIndex,
     model: &BTreeMap<u64, u64>,
-    inflight: Option<InflightAllowance>,
+    inflight: &[InflightAllowance],
 ) -> Result<(), String> {
+    let allowance = |k: u64| inflight.iter().find(|a| a.key == k);
     // Point lookups: every acknowledged record must be present.
     for (&k, &v) in model {
-        if inflight.map(|a| a.key) == Some(k) {
+        if allowance(k).is_some() {
             continue;
         }
         let got = idx.lookup(k);
@@ -381,7 +540,7 @@ pub fn verify_recovered(
             ));
         }
     }
-    if let Some(a) = inflight {
+    for a in inflight {
         let got = idx.lookup(a.key);
         if !a.allows(got) {
             return Err(format!(
@@ -399,15 +558,15 @@ pub fn verify_recovered(
     }
     let observed: BTreeMap<u64, u64> = out.into_iter().collect();
     for (&k, &v) in &observed {
-        match inflight {
-            Some(a) if a.key == k => {
+        match allowance(k) {
+            Some(a) => {
                 if !a.allows(Some(v)) {
                     return Err(format!(
                         "scan ghost at in-flight key {k}: value {v} not an allowed state"
                     ));
                 }
             }
-            _ => {
+            None => {
                 if model.get(&k) != Some(&v) {
                     return Err(format!(
                         "scan ghost: key {k} -> {v} not in acknowledged state ({:?})",
@@ -418,7 +577,7 @@ pub fn verify_recovered(
         }
     }
     for &k in model.keys() {
-        if inflight.map(|a| a.key) == Some(k) {
+        if allowance(k).is_some() {
             continue;
         }
         if !observed.contains_key(&k) {
@@ -491,23 +650,172 @@ fn armed_run(
     (env, model, inflight)
 }
 
-/// Explore one boundary: replay armed, crash, recover, verify.
-fn explore_boundary(
-    opts: &ExploreOptions,
-    ops: &[WorkloadOp],
+/// Everything one explored boundary produced, across all its samples.
+#[derive(Debug, Default)]
+pub(crate) struct BoundaryOutcome {
+    pub report: Option<CrashReport>,
+    pub candidates: u64,
+    pub samples_run: u64,
+    pub exhaustive: bool,
+    pub poison_injected: u64,
+    pub poison_reported: u64,
+    pub failures: Vec<BoundaryFailure>,
+}
+
+/// Recover one residual sample and verify it, classifying every way it
+/// can end: oracle pass/violation, reported media error, a raw
+/// [`PoisonedRead`] escaping (garbage surfaced — always a failure), or
+/// a recovery panic under the torn image (also a failure: a correct PM
+/// index must tolerate any subset of unflushed lines persisting).
+///
+/// Shared by the single-threaded sweep and the multi-threaded runner.
+pub(crate) fn run_sample(
+    kind: &str,
+    pool: &Arc<PmPool>,
+    model: &BTreeMap<u64, u64>,
+    inflight: &[InflightAllowance],
+    poisoned_off: Option<u64>,
+    out: &mut BoundaryOutcome,
     boundary: u64,
-) -> (Option<CrashReport>, Result<(), String>) {
+    policy: ResidualPolicy,
+    report: Option<CrashReport>,
+) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        try_recover_stack(kind, pool.clone()).map(|idx| verify_recovered(&*idx, model, inflight))
+    }));
+    out.samples_run += 1;
+    let detail = match outcome {
+        Ok(Ok(Ok(()))) => return,
+        Ok(Ok(Err(detail))) => detail,
+        Ok(Err(media)) => {
+            if poisoned_off.is_some() {
+                // Graceful degradation: the poisoned line was on the
+                // recovery path and got reported, not read.
+                out.poison_reported += 1;
+                return;
+            }
+            format!("media error reported with no poison injected: {media}")
+        }
+        Err(payload) => {
+            if let Some(p) = payload.downcast_ref::<PoisonedRead>() {
+                format!(
+                    "poisoned line {:#x} surfaced as a raw read at {:#x} instead of a \
+                     reported media error",
+                    poisoned_off.unwrap_or(0),
+                    p.off
+                )
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                format!("panic during recovery/verify: {s}")
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                format!("panic during recovery/verify: {s}")
+            } else {
+                "panic during recovery/verify (non-string payload)".to_string()
+            }
+        }
+    };
+    out.failures.push(BoundaryFailure {
+        boundary,
+        policy,
+        poisoned_off,
+        report,
+        detail,
+    });
+}
+
+/// Apply `policy` to the snapshotted crash image and optionally poison
+/// one lost line; returns the poisoned offset. Shared image-building
+/// step for every sample of a boundary.
+pub(crate) fn build_sample_image(
+    pool: &Arc<PmPool>,
+    persisted: &[u64],
+    candidates: &[pmem::ResidualLine],
+    policy: ResidualPolicy,
+    poison: bool,
+    poison_seed: u64,
+) -> Option<u64> {
+    pool.restore_persisted(persisted);
+    let keep = policy.select(candidates.len());
+    let kept: Vec<pmem::ResidualLine> = candidates
+        .iter()
+        .zip(keep.iter())
+        .filter(|(_, &k)| k)
+        .map(|(l, _)| *l)
+        .collect();
+    pool.apply_residual_lines(&kept);
+    if !poison {
+        return None;
+    }
+    // Media failure at the torn location: one of the lines that did
+    // NOT make it to media comes back unreadable instead of stale.
+    let lost: Vec<u64> = candidates
+        .iter()
+        .zip(keep.iter())
+        .filter(|(_, &k)| !k)
+        .map(|(l, _)| l.off)
+        .collect();
+    if lost.is_empty() {
+        return None;
+    }
+    let victim = lost[(mix64(poison_seed) % lost.len() as u64) as usize];
+    pool.poison_line(victim);
+    Some(victim)
+}
+
+/// Explore one boundary: replay armed, then recover and verify every
+/// residual sample of the crash image (restore → apply subset →
+/// optional poison → recover → oracle).
+fn explore_boundary(opts: &ExploreOptions, ops: &[WorkloadOp], boundary: u64) -> BoundaryOutcome {
     let (env, model, inflight) = armed_run(opts, ops, boundary);
     let Env { pool, idx } = env;
     let report = pool.crash_report();
-    // Power cycle: drop every DRAM front-end, discard the volatile
-    // image, then recover from the frozen persisted image alone.
+    // Capture the crash image before any front-end destructor runs:
+    // the candidate set was frozen at the trip instant, the persisted
+    // image is immune to post-crash writes.
+    let candidates = pool.residual_candidates();
+    let persisted = pool.snapshot_persisted();
     drop(idx);
-    pool.crash();
-    let alloc = PmAllocator::recover(pool.clone(), AllocMode::General);
-    let idx = recover_index(&opts.kind, alloc);
-    let verdict = verify_recovered(&*idx, &model, inflight);
-    (report, verdict)
+
+    let mut out = BoundaryOutcome {
+        report,
+        candidates: candidates.len() as u64,
+        ..BoundaryOutcome::default()
+    };
+    let inflight_slice: Vec<InflightAllowance> = inflight.into_iter().collect();
+    let (policies, exhaustive) = if report.is_some() {
+        sample_policies(opts.residual, opts.seed, boundary, candidates.len())
+    } else {
+        // The run completed (event-sequence divergence): verify exact
+        // equality of the cleanly-persisted image once.
+        (vec![ResidualPolicy::Frozen], false)
+    };
+    out.exhaustive = exhaustive;
+    for (s, &policy) in policies.iter().enumerate() {
+        let poisoned_off = build_sample_image(
+            &pool,
+            &persisted,
+            &candidates,
+            policy,
+            // The frozen baseline stays poison-free so the pure torn-
+            // write model is always covered too.
+            opts.poison && policy != ResidualPolicy::Frozen,
+            opts.seed ^ mix64(boundary) ^ (s as u64).rotate_left(32),
+        );
+        if poisoned_off.is_some() {
+            out.poison_injected += 1;
+        }
+        run_sample(
+            &opts.kind,
+            &pool,
+            &model,
+            &inflight_slice,
+            poisoned_off,
+            &mut out,
+            boundary,
+            policy,
+            report,
+        );
+    }
+    out
 }
 
 /// Run a full crash-point exploration sweep.
@@ -534,6 +842,11 @@ pub fn explore(opts: &ExploreOptions) -> ExploreSummary {
         max_dirty_words: 0,
         probe_redundant_clwb,
         per_op,
+        samples_run: 0,
+        exhaustive_boundaries: 0,
+        max_residual_candidates: 0,
+        poison_injected: 0,
+        poison_reported: 0,
         failures: Vec::new(),
     };
 
@@ -545,9 +858,9 @@ pub fn explore(opts: &ExploreOptions) -> ExploreSummary {
                 break;
             }
         }
-        let (report, verdict) = explore_boundary(opts, &ops, boundary);
+        let outcome = explore_boundary(opts, &ops, boundary);
         summary.boundaries_tested += 1;
-        match &report {
+        match &outcome.report {
             Some(r) => {
                 summary.crashes_fired += 1;
                 let slot = match r.trigger {
@@ -561,13 +874,12 @@ pub fn explore(opts: &ExploreOptions) -> ExploreSummary {
             }
             None => summary.completed_runs += 1,
         }
-        if let Err(detail) = verdict {
-            summary.failures.push(BoundaryFailure {
-                boundary,
-                report,
-                detail,
-            });
-        }
+        summary.samples_run += outcome.samples_run;
+        summary.exhaustive_boundaries += outcome.exhaustive as u64;
+        summary.max_residual_candidates = summary.max_residual_candidates.max(outcome.candidates);
+        summary.poison_injected += outcome.poison_injected;
+        summary.poison_reported += outcome.poison_reported;
+        summary.failures.extend(outcome.failures);
         boundary += stride;
     }
     summary
@@ -604,6 +916,42 @@ mod tests {
         // Remove: present-with-old-value or gone.
         let a = InflightAllowance::for_op(WorkloadOp::Remove(5), &model);
         assert!(a.allows(Some(50)) && a.allows(None) && !a.allows(Some(51)));
+    }
+
+    #[test]
+    fn sample_policies_enumerate_small_sets_and_frontier_large_ones() {
+        // k <= max_lines: the full 2^k subset space, nothing else.
+        let (p, exhaustive) = sample_policies(
+            ResidualConfig::Exhaustive { max_lines: 6, fallback_samples: 2 },
+            1,
+            10,
+            3,
+        );
+        assert!(exhaustive);
+        assert_eq!(p.len(), 8);
+        for (mask, pol) in p.iter().enumerate() {
+            assert_eq!(*pol, ResidualPolicy::Subset { mask: mask as u64 });
+        }
+        // k > max_lines: all 2^j masks over the j most recent lines,
+        // plus the seeded fallback samples over the full set.
+        let (p, exhaustive) = sample_policies(
+            ResidualConfig::Exhaustive { max_lines: 4, fallback_samples: 2 },
+            1,
+            10,
+            40,
+        );
+        assert!(exhaustive);
+        assert_eq!(p.len(), 16 + 2);
+        assert!(matches!(p[15], ResidualPolicy::Subset { mask: 15 }));
+        assert!(matches!(p[16], ResidualPolicy::Sampled { .. }));
+        // Seeds differ per boundary so no two boundaries share a sample.
+        let (q, _) = sample_policies(
+            ResidualConfig::Exhaustive { max_lines: 4, fallback_samples: 2 },
+            1,
+            11,
+            40,
+        );
+        assert_ne!(p[16], q[16]);
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Multi-threaded crash consistency: arm a crash while 2–8 threads
+//! hammer one index, halt the device at the trip so every thread
+//! unwinds, then recover each sampled residual image and check the
+//! relaxed oracle:
+//!
+//! * every **acknowledged** operation survives;
+//! * each thread's **unacknowledged in-flight** operation is atomic
+//!   (fully applied or fully absent);
+//! * no torn values are ever returned.
+//!
+//! Threads write disjoint key stripes, so the union of the per-thread
+//! models is an exact oracle and each in-flight key has exactly one
+//! owner. The crash may land inside any thread's operation; the other
+//! threads are cut by the device halt (see
+//! [`pmem::PmPool::set_halt_on_crash`]) at their next PM access, which
+//! also unwedges threads spinning on a leaf lock the crashed thread
+//! still holds.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use pmalloc::{AllocMode, PmAllocator};
+use pmem::{CrashPointHit, CrashReport, PmConfig, PmPool, ResidualPolicy};
+
+use crate::{
+    apply_op, build_index, build_sample_image, install_quiet_crash_hook, mix64, run_sample,
+    sample_policies, workload, BoundaryOutcome, InflightAllowance, ResidualConfig, WorkloadOp,
+};
+
+/// Parameters of one multi-threaded crash-consistency run.
+#[derive(Debug, Clone)]
+pub struct MtOptions {
+    /// Index kind (see [`crate::PM_KINDS`]).
+    pub kind: String,
+    /// Concurrent workload threads (2–8).
+    pub threads: usize,
+    /// Operations each thread attempts.
+    pub ops_per_thread: u64,
+    /// Width of each thread's private key stripe.
+    pub stripe: u64,
+    /// Base seed (workloads, boundary picks, residual samples).
+    pub seed: u64,
+    /// Pool size in MiB.
+    pub pool_mib: usize,
+    /// Number of pseudo-random crash boundaries to test.
+    pub boundaries: u64,
+    /// Post-crash image model.
+    pub residual: ResidualConfig,
+    /// Poison one lost line per sampled image.
+    pub poison: bool,
+}
+
+impl Default for MtOptions {
+    fn default() -> Self {
+        MtOptions {
+            kind: "wbtree".to_string(),
+            threads: 4,
+            ops_per_thread: 250,
+            stripe: 128,
+            seed: 1,
+            pool_mib: 32,
+            boundaries: 8,
+            residual: ResidualConfig::Sampled {
+                samples: 3,
+                p_per_256: 128,
+            },
+            poison: false,
+        }
+    }
+}
+
+/// Outcome of a multi-threaded crash-consistency run.
+#[derive(Debug, Clone)]
+pub struct MtSummary {
+    /// Index kind exercised.
+    pub kind: String,
+    /// Workload threads per boundary.
+    pub threads: usize,
+    /// Boundaries armed and run.
+    pub boundaries_tested: u64,
+    /// Boundaries where the armed crash fired mid-run.
+    pub crashes_fired: u64,
+    /// Threads cut mid-operation across all boundaries (each
+    /// contributes one in-flight allowance to its oracle check).
+    pub threads_cut: u64,
+    /// Residual samples recovered and verified.
+    pub samples_run: u64,
+    /// Largest residual candidate set at any crash.
+    pub max_residual_candidates: u64,
+    /// Samples that had a line poisoned.
+    pub poison_injected: u64,
+    /// Poisoned samples where recovery reported the media error.
+    pub poison_reported: u64,
+    /// Oracle violations (empty = green).
+    pub failures: Vec<crate::BoundaryFailure>,
+}
+
+impl MtSummary {
+    /// True when every boundary and sample recovered correctly.
+    pub fn is_green(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The workload of one thread: the shared generator, with every key
+/// shifted into the thread's private stripe.
+fn thread_workload(opts: &MtOptions, tid: usize) -> Vec<WorkloadOp> {
+    let base = tid as u64 * opts.stripe;
+    workload(
+        mix64(opts.seed ^ (tid as u64)),
+        opts.ops_per_thread,
+        opts.stripe,
+    )
+    .into_iter()
+    .map(|op| match op {
+        WorkloadOp::Insert(k, v) => WorkloadOp::Insert(base + k, v),
+        WorkloadOp::Update(k, v) => WorkloadOp::Update(base + k, v),
+        WorkloadOp::Remove(k) => WorkloadOp::Remove(base + k),
+    })
+    .collect()
+}
+
+/// What one worker thread saw before it stopped: its acknowledged
+/// model, the op it was cut inside (if any), and a real bug if it
+/// panicked for any reason other than the injected crash.
+struct ThreadOutcome {
+    model: BTreeMap<u64, u64>,
+    inflight: Option<InflightAllowance>,
+    bug: Option<String>,
+}
+
+fn run_worker(idx: &dyn index_api::RangeIndex, pool: &PmPool, ops: &[WorkloadOp]) -> ThreadOutcome {
+    let mut model = BTreeMap::new();
+    let mut inflight = None;
+    let mut bug = None;
+    for &op in ops {
+        let allowance = InflightAllowance::for_op(op, &model);
+        match catch_unwind(AssertUnwindSafe(|| apply_op(idx, &mut model, op))) {
+            Ok(_) => {
+                if pool.crash_fired() {
+                    // The cut landed inside or immediately after this
+                    // op (its tail needed no PM access, so the halt
+                    // could not unwind it). The acknowledgement never
+                    // escaped the dying machine; hold the op to the
+                    // atomic present-or-absent allowance instead.
+                    inflight = Some(allowance);
+                    break;
+                }
+            }
+            Err(payload) => {
+                // CrashPointHit is the armed trip or the halt cutting
+                // this thread. Any other panic raced the power cut
+                // (e.g. an expect on volatile state another cut thread
+                // abandoned) only if the crash really fired; otherwise
+                // it is a genuine concurrency bug.
+                if payload.downcast_ref::<CrashPointHit>().is_some() || pool.crash_fired() {
+                    inflight = Some(allowance);
+                } else if let Some(s) = payload.downcast_ref::<&str>() {
+                    bug = Some(format!("worker panic: {s}"));
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    bug = Some(format!("worker panic: {s}"));
+                } else {
+                    bug = Some("worker panic (non-string payload)".to_string());
+                }
+                break;
+            }
+        }
+    }
+    ThreadOutcome {
+        model,
+        inflight,
+        bug,
+    }
+}
+
+/// Run one armed boundary with `opts.threads` concurrent workers.
+fn run_boundary(opts: &MtOptions, boundary: u64) -> (BoundaryOutcome, u64) {
+    let pool = Arc::new(PmPool::new(opts.pool_mib << 20, PmConfig::real()));
+    let alloc = PmAllocator::format(pool.clone(), AllocMode::General);
+    let idx = build_index(&opts.kind, alloc);
+    let per_thread: Vec<Vec<WorkloadOp>> = (0..opts.threads)
+        .map(|tid| thread_workload(opts, tid))
+        .collect();
+
+    pool.set_halt_on_crash(true);
+    pool.arm_crash_after(boundary);
+    let outcomes: Vec<ThreadOutcome> = std::thread::scope(|s| {
+        let handles: Vec<_> = per_thread
+            .iter()
+            .map(|ops| {
+                let idx = &idx;
+                let pool = &pool;
+                s.spawn(move || run_worker(&**idx, pool, ops))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker catch_unwind never re-panics"))
+            .collect()
+    });
+    let report: Option<CrashReport> = pool.crash_report();
+    if report.is_none() {
+        pool.disarm_crash();
+    }
+    // Capture the crash image, then un-halt so the front-end
+    // destructors can touch the pool again.
+    let candidates = pool.residual_candidates();
+    let persisted = pool.snapshot_persisted();
+    pool.set_halt_on_crash(false);
+    drop(idx);
+
+    let mut model = BTreeMap::new();
+    let mut inflight: Vec<InflightAllowance> = Vec::new();
+    let mut out = BoundaryOutcome {
+        report,
+        candidates: candidates.len() as u64,
+        ..BoundaryOutcome::default()
+    };
+    for (tid, t) in outcomes.iter().enumerate() {
+        model.extend(&t.model);
+        if let Some(a) = t.inflight {
+            inflight.push(a);
+        }
+        if let Some(bug) = &t.bug {
+            out.failures.push(crate::BoundaryFailure {
+                boundary,
+                policy: ResidualPolicy::Frozen,
+                poisoned_off: None,
+                report,
+                detail: format!("thread {tid}: {bug}"),
+            });
+        }
+    }
+    let threads_cut = inflight.len() as u64;
+
+    let (policies, exhaustive) = if report.is_some() {
+        sample_policies(opts.residual, opts.seed, boundary, candidates.len())
+    } else {
+        (vec![ResidualPolicy::Frozen], false)
+    };
+    out.exhaustive = exhaustive;
+    for (s, &policy) in policies.iter().enumerate() {
+        let poisoned_off = build_sample_image(
+            &pool,
+            &persisted,
+            &candidates,
+            policy,
+            opts.poison && policy != ResidualPolicy::Frozen,
+            opts.seed ^ mix64(boundary) ^ (s as u64).rotate_left(32),
+        );
+        if poisoned_off.is_some() {
+            out.poison_injected += 1;
+        }
+        run_sample(
+            &opts.kind,
+            &pool,
+            &model,
+            &inflight,
+            poisoned_off,
+            &mut out,
+            boundary,
+            policy,
+            report,
+        );
+    }
+    (out, threads_cut)
+}
+
+/// Run the full multi-threaded crash matrix: probe the event count of
+/// one uninjected concurrent run, then arm `opts.boundaries`
+/// pseudo-random boundaries within it and verify every residual sample
+/// of each crash.
+pub fn mt_crash_run(opts: &MtOptions) -> MtSummary {
+    assert!(
+        (2..=8).contains(&opts.threads),
+        "threads must be in 2..=8, got {}",
+        opts.threads
+    );
+    install_quiet_crash_hook();
+
+    // Probe: one full concurrent run without injection, to size the
+    // boundary space. Concurrent schedules make the event count only
+    // an estimate — boundaries past the actual count simply complete
+    // and are verified for exact equality.
+    let total_events = {
+        let pool = Arc::new(PmPool::new(opts.pool_mib << 20, PmConfig::real()));
+        let alloc = PmAllocator::format(pool.clone(), AllocMode::General);
+        let idx = build_index(&opts.kind, alloc);
+        let per_thread: Vec<Vec<WorkloadOp>> = (0..opts.threads)
+            .map(|tid| thread_workload(opts, tid))
+            .collect();
+        std::thread::scope(|s| {
+            for ops in &per_thread {
+                let idx = &idx;
+                s.spawn(move || {
+                    let mut model = BTreeMap::new();
+                    for &op in ops {
+                        apply_op(&**idx, &mut model, op);
+                    }
+                });
+            }
+        });
+        pool.persist_event_count().max(1)
+    };
+
+    let mut summary = MtSummary {
+        kind: opts.kind.clone(),
+        threads: opts.threads,
+        boundaries_tested: 0,
+        crashes_fired: 0,
+        threads_cut: 0,
+        samples_run: 0,
+        max_residual_candidates: 0,
+        poison_injected: 0,
+        poison_reported: 0,
+        failures: Vec::new(),
+    };
+    for b in 0..opts.boundaries {
+        // Spread boundaries over the probed event space, seeded so the
+        // whole matrix replays from `--seed` alone.
+        let boundary = 1 + mix64(opts.seed ^ mix64(b)) % total_events;
+        let (out, threads_cut) = run_boundary(opts, boundary);
+        summary.boundaries_tested += 1;
+        summary.crashes_fired += out.report.is_some() as u64;
+        summary.threads_cut += threads_cut;
+        summary.samples_run += out.samples_run;
+        summary.max_residual_candidates = summary.max_residual_candidates.max(out.candidates);
+        summary.poison_injected += out.poison_injected;
+        summary.poison_reported += out.poison_reported;
+        summary.failures.extend(out.failures);
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_threads_survive_sampled_crashes() {
+        let opts = MtOptions {
+            kind: "wbtree".to_string(),
+            threads: 4,
+            ops_per_thread: 120,
+            boundaries: 4,
+            seed: 11,
+            ..MtOptions::default()
+        };
+        let s = mt_crash_run(&opts);
+        assert_eq!(s.boundaries_tested, 4);
+        assert!(s.crashes_fired > 0, "no boundary tripped mid-run");
+        assert!(s.samples_run >= s.boundaries_tested);
+        assert!(
+            s.is_green(),
+            "{} violations, first: {:?}",
+            s.failures.len(),
+            s.failures.first()
+        );
+    }
+
+    #[test]
+    fn two_threads_with_poison_never_surface_garbage() {
+        let opts = MtOptions {
+            kind: "fptree".to_string(),
+            threads: 2,
+            ops_per_thread: 100,
+            boundaries: 3,
+            seed: 23,
+            poison: true,
+            ..MtOptions::default()
+        };
+        let s = mt_crash_run(&opts);
+        assert!(
+            s.is_green(),
+            "{} violations, first: {:?}",
+            s.failures.len(),
+            s.failures.first()
+        );
+    }
+}

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use htm::{Abort, Htm};
 use index_api::{Footprint, Key, RangeIndex, Value};
 use pmalloc::PmAllocator;
-use pmem::PmPool;
+use pmem::{MediaError, PmPool};
 
 use crate::inner::{self, Inner};
 use crate::layout::{LeafLayout, BITMAP_OFF, NEXT_OFF, VLOCK_OFF};
@@ -70,9 +70,25 @@ impl FpTree {
 
     /// Reopen after a crash or shutdown: replay the split micro-log,
     /// clear leaf version locks, and rebuild the DRAM inner nodes by
-    /// bulk-loading from the persistent leaf chain.
+    /// bulk-loading from the persistent leaf chain. Panics on a media
+    /// error; use [`FpTree::try_recover`] to handle poisoned lines
+    /// gracefully.
     pub fn recover(alloc: Arc<PmAllocator>, cfg: FpTreeConfig) -> Arc<FpTree> {
+        Self::try_recover(alloc, cfg).unwrap_or_else(|e| panic!("FPTree recovery failed: {e}"))
+    }
+
+    /// Fallible recovery: probes the root slots (head pointer, split
+    /// micro-log, config) and every leaf in the chain for media errors
+    /// before reading it — and before the vlock clears write to it —
+    /// so a poisoned line surfaces as a reported [`MediaError`], never
+    /// as garbage records or routing keys.
+    pub fn try_recover(
+        alloc: Arc<PmAllocator>,
+        cfg: FpTreeConfig,
+    ) -> Result<Arc<FpTree>, MediaError> {
         let pool = alloc.pool().clone();
+        pool.check_readable(slot_off(SLOT_HEAD), 48)
+            .map_err(|e| e.context("FPTree root slots"))?;
         let persisted_entries = pool.read_u64(slot_off(SLOT_CFG)) as usize;
         assert_eq!(
             persisted_entries, cfg.leaf_entries,
@@ -87,9 +103,9 @@ impl FpTree {
             cfg,
             inner_count: AtomicU64::new(0),
         };
-        tree.replay_split_log();
-        tree.rebuild_from_leaves();
-        Arc::new(tree)
+        tree.replay_split_log()?;
+        tree.rebuild_from_leaves()?;
+        Ok(Arc::new(tree))
     }
 
     #[inline]
@@ -370,9 +386,25 @@ impl FpTree {
 
     // ----- recovery ----------------------------------------------------------
 
+    /// Recovery-time key read that reports (rather than raises) a
+    /// media error on a poisoned out-of-line key cell. The leaf itself
+    /// must already have been probed by the caller.
+    fn checked_slot_key(&self, leaf: u64, slot: usize) -> Result<Key, MediaError> {
+        let w = self.pool().read_u64(self.layout.key(leaf, slot));
+        match self.cfg.key_mode {
+            KeyMode::Inline => Ok(w),
+            KeyMode::Pointer => {
+                self.pool()
+                    .check_readable(w, 8)
+                    .map_err(|e| e.context("FPTree out-of-line key cell"))?;
+                Ok(self.pool().read_u64(w))
+            }
+        }
+    }
+
     /// Replay the split micro-log: roll a published split forward,
     /// roll an unpublished one back.
-    fn replay_split_log(&self) {
+    fn replay_split_log(&self) -> Result<(), MediaError> {
         let pool = self.pool();
         let l = &self.layout;
         let valid = pool.read_u64(slot_off(SLOT_LOG_VALID));
@@ -380,6 +412,8 @@ impl FpTree {
         if valid == 1 {
             let old = pool.read_u64(slot_off(SLOT_LOG_OLD));
             let split_key = pool.read_u64(slot_off(SLOT_LOG_KEY));
+            pool.check_readable(old, l.size)
+                .map_err(|e| e.context("FPTree split-log leaf"))?;
             if pool.read_u64(old + NEXT_OFF) == new {
                 // Published: redo the bitmap shrink (idempotent).
                 let bitmap = pool.read_u64(old + BITMAP_OFF) & l.full_mask();
@@ -388,7 +422,7 @@ impl FpTree {
                 while bits != 0 {
                     let slot = bits.trailing_zeros() as usize;
                     bits &= bits - 1;
-                    if self.slot_key(old, slot) >= split_key {
+                    if self.checked_slot_key(old, slot)? >= split_key {
                         keep &= !(1 << slot);
                     }
                 }
@@ -406,12 +440,13 @@ impl FpTree {
         }
         pool.write_u64(slot_off(SLOT_LOG_NEW), 0);
         pool.persist(slot_off(SLOT_LOG_NEW), 8);
+        Ok(())
     }
 
     /// Rebuild inner nodes by walking the persistent leaf chain
     /// (bulk loading). Also clears leaf version locks left over from
     /// the crash.
-    fn rebuild_from_leaves(&self) {
+    fn rebuild_from_leaves(&self) -> Result<(), MediaError> {
         let pool = self.pool();
         let l = &self.layout;
         let head = pool.read_u64(slot_off(SLOT_HEAD));
@@ -419,6 +454,10 @@ impl FpTree {
         let mut level: Vec<(Key, u64)> = Vec::new();
         let mut leaf = head;
         while leaf != 0 {
+            // Probe before the vlock clear writes to the leaf: a partial
+            // overwrite could otherwise mask the poison.
+            pool.check_readable(leaf, l.size)
+                .map_err(|e| e.context("FPTree leaf"))?;
             pool.write_u64(leaf + VLOCK_OFF, 0); // clear runtime lock
             let bitmap = pool.read_u64(leaf + BITMAP_OFF) & l.full_mask();
             let mut min = Key::MAX;
@@ -426,7 +465,7 @@ impl FpTree {
             while bits != 0 {
                 let slot = bits.trailing_zeros() as usize;
                 bits &= bits - 1;
-                min = min.min(self.slot_key(leaf, slot));
+                min = min.min(self.checked_slot_key(leaf, slot)?);
             }
             if bitmap != 0 {
                 level.push((min, inner::tag_leaf(leaf)));
@@ -435,7 +474,7 @@ impl FpTree {
         }
         if level.is_empty() {
             self.root.store(inner::tag_leaf(head), Ordering::Release);
-            return;
+            return Ok(());
         }
         debug_assert!(level.windows(2).all(|w| w[0].0 < w[1].0));
         // Build inner levels bottom-up.
@@ -453,6 +492,7 @@ impl FpTree {
             level = next;
         }
         self.root.store(level[0].1, Ordering::Release);
+        Ok(())
     }
 
     /// Number of DRAM inner nodes (exposed for tests/experiments).

@@ -9,7 +9,7 @@ use crossbeam_epoch::{self as epoch, Atomic, Owned};
 use htm::{Abort, Htm};
 use index_api::{Footprint, Key, RangeIndex, Value};
 use pmalloc::PmAllocator;
-use pmem::PmPool;
+use pmem::{MediaError, PmPool};
 
 use crate::snapshot::Snapshot;
 use crate::NvTreeConfig;
@@ -69,10 +69,22 @@ impl NvTree {
     /// Reopen after a crash: clear leaf locks, rebuild the routing
     /// snapshot from the leaf chain, and garbage-collect allocated
     /// blocks the chain cannot reach (replaced leaves whose free did
-    /// not persist).
+    /// not persist). Panics on a media error; use
+    /// [`NvTree::try_recover`] to handle poisoned lines gracefully.
     pub fn recover(alloc: Arc<PmAllocator>, cfg: NvTreeConfig) -> Arc<NvTree> {
+        Self::try_recover(alloc, cfg).unwrap_or_else(|e| panic!("NV-Tree recovery failed: {e}"))
+    }
+
+    /// Fallible recovery: probes the root slots and every leaf in the
+    /// chain for media errors *before* reading it — and before the
+    /// vlock clear writes to it, since partial overwrites can mask the
+    /// poison — so a poisoned line surfaces as a reported
+    /// [`MediaError`], never as garbage records.
+    pub fn try_recover(alloc: Arc<PmAllocator>, cfg: NvTreeConfig) -> Result<Arc<NvTree>, MediaError> {
         let t = NvTree::shell(alloc, cfg);
         let pool = t.alloc.pool().clone();
+        pool.check_readable(SLOT_HEAD * 8, 16)
+            .map_err(|e| e.context("NV-Tree root slots"))?;
         let persisted = pool.read_u64(SLOT_CFG * 8) as usize;
         assert_eq!(persisted, cfg.leaf_entries, "config/layout mismatch");
         let head = pool.read_u64(SLOT_HEAD * 8);
@@ -81,6 +93,8 @@ impl NvTree {
         let mut reachable: HashSet<u64> = HashSet::new();
         let mut leaf = head;
         while leaf != 0 {
+            pool.check_readable(leaf, t.leaf_size)
+                .map_err(|e| e.context("NV-Tree leaf"))?;
             reachable.insert(leaf);
             pool.write_u64(leaf + VLOCK_OFF, 0);
             let live = t.live_records(leaf);
@@ -107,7 +121,7 @@ impl NvTree {
             Owned::new(Snapshot::build(&entries, cfg.pln_entries)),
             Ordering::Release,
         );
-        Arc::new(t)
+        Ok(Arc::new(t))
     }
 
     fn shell(alloc: Arc<PmAllocator>, cfg: NvTreeConfig) -> NvTree {

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use pmem::{align_up, PmPool, MEDIA_BLOCK, ROOT_AREA};
+use pmem::{align_up, MediaError, PmPool, MEDIA_BLOCK, ROOT_AREA};
 
 use crate::classes::{class_for_size, class_size, CLASS_SIZES, NUM_CLASSES};
 use crate::AllocError;
@@ -154,13 +154,25 @@ impl PmAllocator {
             (layout.bitmaps_off + layout.n_chunks * BITMAP_BYTES - layout.chunk_headers_off)
                 as usize,
         );
-        Self::build(pool, mode, layout, true)
+        Self::build(pool, mode, layout, true).expect("format never replays in-flight slots")
     }
 
     /// Open a previously formatted pool after a (simulated) crash or
     /// clean shutdown: replays in-flight slots and rebuilds all volatile
-    /// state from persistent metadata.
+    /// state from persistent metadata. Panics on a media error; use
+    /// [`PmAllocator::try_recover`] to handle poisoned metadata.
     pub fn recover(pool: Arc<PmPool>, mode: AllocMode) -> Arc<PmAllocator> {
+        Self::try_recover(pool, mode).unwrap_or_else(|e| panic!("allocator recovery failed: {e}"))
+    }
+
+    /// Fallible recovery: probes every persistent structure the
+    /// allocator must interpret (header, in-flight slots, chunk headers,
+    /// bitmaps, publication targets) for media errors before reading it,
+    /// so a poisoned line surfaces as a reported [`MediaError`] instead
+    /// of an emulated machine-check or silently consumed garbage.
+    pub fn try_recover(pool: Arc<PmPool>, mode: AllocMode) -> Result<Arc<PmAllocator>, MediaError> {
+        pool.check_readable(ROOT_AREA, 40)
+            .map_err(|e| e.context("allocator header"))?;
         assert_eq!(pool.read_u64(ROOT_AREA), MAGIC, "pool is not formatted");
         let layout = Layout {
             n_chunks: pool.read_u64(ROOT_AREA + 8),
@@ -168,10 +180,26 @@ impl PmAllocator {
             bitmaps_off: pool.read_u64(ROOT_AREA + 24),
             heap_off: pool.read_u64(ROOT_AREA + 32),
         };
+        pool.check_readable(
+            Self::inflight_off_static(0),
+            INFLIGHT_SLOTS * INFLIGHT_SLOT_BYTES as usize,
+        )
+        .map_err(|e| e.context("allocator in-flight slots"))?;
+        pool.check_readable(
+            layout.chunk_headers_off,
+            (layout.bitmaps_off + layout.n_chunks * BITMAP_BYTES - layout.chunk_headers_off)
+                as usize,
+        )
+        .map_err(|e| e.context("allocator chunk metadata"))?;
         Self::build(pool, mode, layout, false)
     }
 
-    fn build(pool: Arc<PmPool>, mode: AllocMode, layout: Layout, fresh: bool) -> Arc<PmAllocator> {
+    fn build(
+        pool: Arc<PmPool>,
+        mode: AllocMode,
+        layout: Layout,
+        fresh: bool,
+    ) -> Result<Arc<PmAllocator>, MediaError> {
         let n = layout.n_chunks as usize;
         let a = PmAllocator {
             classes: (0..NUM_CLASSES)
@@ -192,16 +220,16 @@ impl PmAllocator {
             layout,
         };
         if !fresh {
-            a.replay_inflight();
+            a.replay_inflight()?;
         }
         a.rebuild_volatile(fresh);
-        Arc::new(a)
+        Ok(Arc::new(a))
     }
 
     /// Apply the recovery rule to every in-flight slot: a completed
     /// publication (dest points at the block) is kept, anything else is
     /// rolled back.
-    fn replay_inflight(&self) {
+    fn replay_inflight(&self) -> Result<(), MediaError> {
         for s in 0..INFLIGHT_SLOTS as u64 {
             let off = Self::inflight_off_static(s);
             let block = self.pool.read_u64(off);
@@ -210,6 +238,11 @@ impl PmAllocator {
             }
             let dest = self.pool.read_u64(off + 8);
             let op = self.pool.read_u64(off + 16);
+            // The publication target is an arbitrary application offset;
+            // it may itself sit on a poisoned line.
+            self.pool
+                .check_readable(dest, 8)
+                .map_err(|e| e.context("in-flight publication target"))?;
             let dest_val = self.pool.read_u64(dest);
             match op {
                 OP_ALLOC => {
@@ -232,6 +265,7 @@ impl PmAllocator {
             self.pool.write_u64(off, 0);
             self.pool.persist(off, 8);
         }
+        Ok(())
     }
 
     /// Rebuild free lists, free counts and live-byte accounting by
@@ -391,28 +425,35 @@ impl PmAllocator {
     pub fn alloc(&self, size: usize) -> Result<u64, AllocError> {
         let class = class_for_size(size).ok_or(AllocError::TooLarge(size))?;
         self.allocs.fetch_add(1, Ordering::Relaxed);
-        match self.mode {
-            AllocMode::General => self.alloc_from_class(class),
+        let off = match self.mode {
+            AllocMode::General => self.alloc_from_class(class)?,
             AllocMode::Striped => {
                 let stripe = stripe_of_thread();
                 let mag = &self.magazines[stripe * NUM_CLASSES + class];
-                if let Some(off) = mag.lock().pop() {
-                    return Ok(off);
-                }
-                // Refill: move a batch into the magazine, return one.
-                let mut batch = Vec::with_capacity(MAGAZINE_CAP / 2);
-                for _ in 0..MAGAZINE_CAP / 2 {
-                    match self.alloc_from_class(class) {
-                        Ok(off) => batch.push(off),
-                        Err(e) if batch.is_empty() => return Err(e),
-                        Err(_) => break,
+                match mag.lock().pop() {
+                    Some(off) => off,
+                    None => {
+                        // Refill: move a batch into the magazine, return one.
+                        let mut batch = Vec::with_capacity(MAGAZINE_CAP / 2);
+                        for _ in 0..MAGAZINE_CAP / 2 {
+                            match self.alloc_from_class(class) {
+                                Ok(off) => batch.push(off),
+                                Err(e) if batch.is_empty() => return Err(e),
+                                Err(_) => break,
+                            }
+                        }
+                        let first = batch.pop().expect("batch non-empty");
+                        mag.lock().extend(batch);
+                        first
                     }
                 }
-                let first = batch.pop().expect("batch non-empty");
-                mag.lock().extend(batch);
-                Ok(first)
             }
-        }
+        };
+        // A crash can leave a *free* block's lines poisoned. Like a real
+        // allocator consulting the bad-block list, re-initialize the
+        // block before handing it out: the old contents are dead anyway.
+        self.pool.scrub_poison(off, class_size(class));
+        Ok(off)
     }
 
     /// Allocate `size` bytes zeroed (zeroes are written but not flushed;

@@ -38,7 +38,10 @@ mod pool;
 mod stats;
 
 pub use config::{PersistenceMode, PmConfig};
-pub use inject::{CrashPointHit, CrashReport, PersistEventKind};
+pub use inject::{
+    CrashPointHit, CrashReport, MediaError, PersistEventKind, PoisonedRead, ResidualLine,
+    ResidualPolicy,
+};
 pub use latency::LatencyModel;
 pub use off::{PmOff, NULL_OFF};
 pub use pool::{PmPool, PmSafe, CACHELINE, MEDIA_BLOCK, ROOT_AREA};

@@ -1,12 +1,16 @@
 //! The emulated PM device: a pool with a CPU image and a persisted image.
 
 use std::cell::Cell;
+use std::collections::HashMap;
 use std::mem::{align_of, size_of, MaybeUninit};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::config::{PersistenceMode, PmConfig};
-use crate::inject::{CrashPointHit, CrashReport, PersistEventKind};
+use crate::inject::{
+    splitmix64, CrashPointHit, CrashReport, MediaError, PersistEventKind, PoisonedRead,
+    ResidualLine, ResidualPolicy,
+};
 use crate::off::PmOff;
 use crate::stats::{PmStats, PmStatsSnapshot};
 
@@ -78,6 +82,13 @@ pub struct PmPool {
     /// One bit per 8-byte word: set when the CPU image has been written
     /// since the word was last persisted (the durability-audit bitmap).
     dirty: Box<[AtomicU64]>,
+    /// Per cache line, the [`PmPool::write_clock`] value of the last
+    /// store that touched it. Orders residual candidates by recency so
+    /// exhaustive torn-write enumeration can focus on the write
+    /// frontier (the lines the in-flight operation just dirtied).
+    dirty_seq: Box<[AtomicU64]>,
+    /// Monotonic store counter feeding [`PmPool::dirty_seq`].
+    write_clock: AtomicU64,
     /// Persistence events (clwb/ntstore/sfence calls) since creation.
     events: AtomicU64,
     /// Crash-point injection: events remaining until the trip (0 = off).
@@ -87,6 +98,26 @@ pub struct PmPool {
     crashed: AtomicBool,
     /// Durability audit captured when the injected crash fired.
     report: Mutex<Option<CrashReport>>,
+    /// Multi-threaded crash mode: when the armed crash fires, also set
+    /// [`PmPool::halted`] so other threads unwind (see
+    /// [`PmPool::set_halt_on_crash`]).
+    halt_on_crash: AtomicBool,
+    /// Fast gate checked on every PM access: when set, any access from a
+    /// non-panicking thread unwinds with [`CrashPointHit`].
+    halted: AtomicBool,
+    /// Dirty lines (offset + CPU contents) captured at the instant the
+    /// armed crash fired — the residual-image candidate set, snapshotted
+    /// before unwinding code can dirty anything else.
+    residual: Mutex<Option<Vec<ResidualLine>>>,
+    /// One bit per cache line: set when the line is poisoned (reads
+    /// raise the emulated machine-check, [`PoisonedRead`]).
+    poison: Box<[AtomicU64]>,
+    /// Fast gate: number of currently poisoned lines.
+    poison_lines: AtomicU64,
+    /// Per poisoned line, which of its 8 words have been fully
+    /// rewritten; at 0xFF the line's poison clears (real PM clears
+    /// poison when the whole line is overwritten).
+    poison_fill: Mutex<HashMap<u64, u8>>,
 }
 
 impl PmPool {
@@ -105,10 +136,18 @@ impl PmPool {
             id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
             chaos_ctr: AtomicU64::new(0),
             dirty: alloc(words.div_ceil(64)),
+            dirty_seq: alloc(len / CACHELINE),
+            write_clock: AtomicU64::new(0),
             events: AtomicU64::new(0),
             armed: AtomicU64::new(0),
             crashed: AtomicBool::new(false),
             report: Mutex::new(None),
+            halt_on_crash: AtomicBool::new(false),
+            halted: AtomicBool::new(false),
+            residual: Mutex::new(None),
+            poison: alloc((len / CACHELINE).div_ceil(64)),
+            poison_lines: AtomicU64::new(0),
+            poison_fill: Mutex::new(HashMap::new()),
         }
     }
 
@@ -166,6 +205,10 @@ impl PmPool {
     /// consulting the modelled per-thread cache for media residency.
     #[inline]
     fn account_read(&self, off: u64, len: usize) {
+        self.check_halt();
+        if self.poison_lines.load(Ordering::Relaxed) != 0 {
+            self.raise_on_poison(off, len);
+        }
         let first = Self::media_block_of(off);
         let nblocks = Self::blocks_in(off, len);
         let mut missed = 0u64;
@@ -198,6 +241,10 @@ impl PmPool {
     /// (write-allocate).
     #[inline]
     fn account_write(&self, off: u64, len: usize) {
+        self.check_halt();
+        if self.poison_lines.load(Ordering::Relaxed) != 0 {
+            self.note_poison_overwrite(off, len);
+        }
         let first = Self::media_block_of(off);
         let nblocks = Self::blocks_in(off, len);
         BLOCK_CACHE.with(|cache| {
@@ -218,6 +265,12 @@ impl PmPool {
     fn mark_dirty(&self, off: u64, len: usize) {
         if len == 0 {
             return;
+        }
+        let clock = self.write_clock.fetch_add(1, Ordering::Relaxed);
+        let lfirst = off / CACHELINE as u64;
+        let llast = (off + len as u64 - 1) / CACHELINE as u64;
+        for l in lfirst..=llast {
+            self.dirty_seq[l as usize].store(clock, Ordering::Relaxed);
         }
         let first = off / 8;
         let last = (off + len as u64 - 1) / 8;
@@ -302,6 +355,7 @@ impl PmPool {
     /// persistence effect). Panics with [`CrashPointHit`] at the trip.
     #[inline]
     fn persistence_event(&self, kind: PersistEventKind) -> bool {
+        self.check_halt();
         let index = self.events.fetch_add(1, Ordering::Relaxed) + 1;
         if self.crashed.load(Ordering::Relaxed) {
             return true;
@@ -331,9 +385,22 @@ impl PmPool {
             if cur > 1 {
                 return false;
             }
-            // This is the fatal event: freeze the persisted image first
-            // so nothing that runs during unwinding can persist data,
-            // then capture the durability audit and unwind.
+            // This is the fatal event. Halt the device FIRST: once the
+            // image freezes, a sibling thread's flushes would be
+            // silently suppressed, so if this thread is preempted
+            // between freezing and halting, siblings could complete and
+            // acknowledge operations that never became durable. Halting
+            // first makes every concurrent PM access unwind before it
+            // can witness the frozen world; anything a sibling fully
+            // flushed before this instant is genuinely durable.
+            if self.halt_on_crash.load(Ordering::Relaxed) {
+                self.halted.store(true, Ordering::Relaxed);
+            }
+            // Now freeze the persisted image so nothing that runs
+            // during unwinding can persist data, then capture the
+            // durability audit and the residual-image candidate set
+            // (dirty lines + their CPU contents) before unwinding code
+            // can dirty anything else, and unwind.
             self.crashed.store(true, Ordering::Relaxed);
             let report = CrashReport {
                 event_index: index,
@@ -343,6 +410,7 @@ impl PmPool {
                 redundant_clwb: self.stats.snapshot().clwb_redundant,
             };
             *self.report_slot() = Some(report);
+            *self.residual_slot() = Some(self.collect_residual_candidates());
             std::panic::panic_any(CrashPointHit);
         }
     }
@@ -362,11 +430,15 @@ impl PmPool {
     /// Catch it with `std::panic::catch_unwind`, then call
     /// [`PmPool::crash`] and run recovery. `arm_crash_after(0)` disarms.
     ///
-    /// Designed for single-threaded exploration runs; with concurrent
-    /// writers the trip point is racy (exactly one event still trips).
+    /// Event counting is exact for single-threaded exploration runs;
+    /// with concurrent writers the trip point is racy but exactly one
+    /// event still trips (enable [`PmPool::set_halt_on_crash`] so the
+    /// surviving threads unwind too).
     pub fn arm_crash_after(&self, events: u64) {
         *self.report_slot() = None;
+        *self.residual_slot() = None;
         self.crashed.store(false, Ordering::Relaxed);
+        self.halted.store(false, Ordering::Relaxed);
         self.armed.store(events, Ordering::Relaxed);
     }
 
@@ -397,6 +469,336 @@ impl PmPool {
     /// creation. Used by probe runs to size a boundary sweep.
     pub fn persist_event_count(&self) -> u64 {
         self.events.load(Ordering::Relaxed)
+    }
+
+    // ----- multi-threaded crash (halt-on-crash) ----------------------------
+
+    /// In multi-threaded crash runs, make the device disappear for
+    /// *every* thread when the armed crash fires: each surviving
+    /// thread's next PM access (load, store, or persistence primitive)
+    /// panics with [`CrashPointHit`] too, so no thread can keep
+    /// computing against a dead device — and in particular no thread
+    /// can spin forever on a lock word the crashed thread left set.
+    ///
+    /// Threads already unwinding (`std::thread::panicking()`) are
+    /// exempt, so destructors that touch the pool during the unwind do
+    /// not double-panic and abort.
+    ///
+    /// The harness must call `set_halt_on_crash(false)` once every
+    /// worker has been joined and **before** dropping index/allocator
+    /// front-ends: their destructors access the pool from a
+    /// non-panicking thread. Disabled by default; disabling also clears
+    /// an active halt.
+    pub fn set_halt_on_crash(&self, enabled: bool) {
+        self.halt_on_crash.store(enabled, Ordering::Relaxed);
+        if !enabled {
+            self.halted.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the device is currently halted (armed crash fired with
+    /// halt-on-crash enabled; every PM access unwinds).
+    pub fn is_halted(&self) -> bool {
+        self.halted.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn check_halt(&self) {
+        if self.halted.load(Ordering::Relaxed) {
+            self.halt_slow();
+        }
+    }
+
+    #[cold]
+    fn halt_slow(&self) {
+        if !std::thread::panicking() {
+            std::panic::panic_any(CrashPointHit);
+        }
+    }
+
+    // ----- residual image --------------------------------------------------
+
+    #[inline]
+    fn residual_slot(&self) -> std::sync::MutexGuard<'_, Option<Vec<ResidualLine>>> {
+        self.residual.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Walk the dirty bitmap and capture every dirty line with its
+    /// current CPU contents, ordered most-recently-written first (ties
+    /// broken by offset). Recency ordering lets subset enumeration
+    /// cover the write frontier even when long-lived unflushed lines
+    /// (volatile locks, runtime counters living in PM) inflate the
+    /// total candidate count.
+    fn collect_residual_candidates(&self) -> Vec<ResidualLine> {
+        let mut out = Vec::new();
+        for (i, a) in self.dirty.iter().enumerate() {
+            let mut bits = a.load(Ordering::Relaxed);
+            while bits != 0 {
+                let line = (bits.trailing_zeros() / 8) as u64;
+                let off = (i as u64 * 64 + line * 8) * 8;
+                let w0 = (off / 8) as usize;
+                let mut words = [0u64; 8];
+                for (j, w) in words.iter_mut().enumerate() {
+                    *w = self.cpu[w0 + j].load(Ordering::Relaxed);
+                }
+                let seq = self.dirty_seq[(off / CACHELINE as u64) as usize].load(Ordering::Relaxed);
+                out.push((seq, ResidualLine { off, words }));
+                bits &= !(0xFFu64 << (line * 8));
+            }
+        }
+        out.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.off.cmp(&b.1.off)));
+        out.into_iter().map(|(_, l)| l).collect()
+    }
+
+    /// The residual-image candidate set: every dirty (written but
+    /// unflushed) cache line that *could* have made it to media at a
+    /// power cut, with the contents it would land with. Candidates are
+    /// ordered most-recently-written first, so [`ResidualPolicy::Subset`]
+    /// mask bit `i` addresses the `i`-th most recent line — enumerating
+    /// small masks exhaustively covers the write frontier.
+    ///
+    /// After an armed crash fired this returns the set captured at the
+    /// trip instant (unwinding may have dirtied more lines since — those
+    /// stores never happened in the crashed execution). On a live pool
+    /// it is computed from the current dirty bitmap, which is what a
+    /// torture-style [`PmPool::crash_with`] needs.
+    pub fn residual_candidates(&self) -> Vec<ResidualLine> {
+        if self.crashed.load(Ordering::Relaxed) {
+            if let Some(c) = self.residual_slot().as_ref() {
+                return c.clone();
+            }
+        }
+        self.collect_residual_candidates()
+    }
+
+    /// Snapshot the persisted image, so a harness can run several
+    /// residual samples (restore → apply → recover) per crash without
+    /// replaying the workload.
+    pub fn snapshot_persisted(&self) -> Vec<u64> {
+        self.persisted
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Reset both images to a snapshot taken by
+    /// [`PmPool::snapshot_persisted`], discarding all volatile state,
+    /// injection state, and poison — a fresh power-on of that image.
+    pub fn restore_persisted(&self, img: &[u64]) {
+        assert_eq!(img.len(), self.persisted.len(), "snapshot size mismatch");
+        for (i, &w) in img.iter().enumerate() {
+            self.persisted[i].store(w, Ordering::Relaxed);
+            self.cpu[i].store(w, Ordering::Relaxed);
+        }
+        self.armed.store(0, Ordering::Relaxed);
+        self.crashed.store(false, Ordering::Relaxed);
+        self.halted.store(false, Ordering::Relaxed);
+        *self.residual_slot() = None;
+        self.clear_all_dirty();
+        self.clear_all_poison();
+        std::sync::atomic::fence(Ordering::SeqCst);
+    }
+
+    /// Write the given lines into both images: these lines *did* reach
+    /// media at the power cut. Call after [`PmPool::crash`] or
+    /// [`PmPool::restore_persisted`] with the subset a
+    /// [`ResidualPolicy`] selected.
+    pub fn apply_residual_lines(&self, lines: &[ResidualLine]) {
+        for l in lines {
+            debug_assert_eq!(l.off % CACHELINE as u64, 0);
+            let w0 = (l.off / 8) as usize;
+            for (j, &w) in l.words.iter().enumerate() {
+                self.cpu[w0 + j].store(w, Ordering::Relaxed);
+                self.persisted[w0 + j].store(w, Ordering::Relaxed);
+            }
+        }
+        std::sync::atomic::fence(Ordering::SeqCst);
+    }
+
+    /// [`PmPool::crash`], but with a configurable residual image: the
+    /// dirty lines at the crash instant each persist or vanish according
+    /// to `policy` instead of all vanishing. `ResidualPolicy::Frozen`
+    /// is exactly `crash()`.
+    ///
+    /// Returns the number of residual candidates, so callers can log
+    /// how large the sampled space was.
+    pub fn crash_with(&self, policy: ResidualPolicy) -> usize {
+        let cands = self.residual_candidates();
+        let keep = policy.select(cands.len());
+        self.crash();
+        let kept: Vec<ResidualLine> = cands
+            .iter()
+            .zip(keep.iter())
+            .filter(|(_, &k)| k)
+            .map(|(l, _)| *l)
+            .collect();
+        self.apply_residual_lines(&kept);
+        cands.len()
+    }
+
+    // ----- media errors (poison) -------------------------------------------
+
+    #[inline]
+    fn line_poisoned(&self, line_off: u64) -> bool {
+        let l = line_off / CACHELINE as u64;
+        self.poison[(l / 64) as usize].load(Ordering::Relaxed) & (1u64 << (l % 64)) != 0
+    }
+
+    #[inline]
+    fn poison_fill_slot(&self) -> std::sync::MutexGuard<'_, HashMap<u64, u8>> {
+        self.poison_fill.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Poison the cache line containing `off`: the media can no longer
+    /// return its data. Any read touching the line panics with
+    /// [`PoisonedRead`] (the emulated machine-check) until the whole
+    /// line has been rewritten (word-granularity stores covering all 8
+    /// words) or scrubbed via [`PmPool::scrub_poison`]. The line's
+    /// contents are scrambled in both images so partially recovered
+    /// lines can never silently read back plausible stale data.
+    ///
+    /// Poison is a media property: it survives [`PmPool::crash`] /
+    /// power cycles, like a real bad block.
+    pub fn poison_line(&self, off: u64) {
+        let line = off & !(CACHELINE as u64 - 1);
+        assert!((line as usize) + CACHELINE <= self.len, "poison out of bounds");
+        let l = line / CACHELINE as u64;
+        let prev = self.poison[(l / 64) as usize].fetch_or(1u64 << (l % 64), Ordering::Relaxed);
+        if prev & (1u64 << (l % 64)) == 0 {
+            self.poison_lines.fetch_add(1, Ordering::Relaxed);
+        }
+        self.poison_fill_slot().remove(&line);
+        let w0 = (line / 8) as usize;
+        for j in 0..8 {
+            let junk = splitmix64(0xBAD0_BAD0_0000_0000 ^ line ^ j as u64);
+            self.cpu[w0 + j].store(junk, Ordering::Relaxed);
+            self.persisted[w0 + j].store(junk, Ordering::Relaxed);
+        }
+    }
+
+    /// Currently poisoned cache lines.
+    pub fn poisoned_line_count(&self) -> u64 {
+        self.poison_lines.load(Ordering::Relaxed)
+    }
+
+    /// Clear all poison without touching data (testing/reset helper).
+    pub fn clear_all_poison(&self) {
+        if self.poison_lines.swap(0, Ordering::Relaxed) != 0 {
+            for a in self.poison.iter() {
+                a.store(0, Ordering::Relaxed);
+            }
+        }
+        self.poison_fill_slot().clear();
+    }
+
+    /// Probe whether `[off, off + len)` is readable without raising the
+    /// emulated machine-check. Recovery paths call this before
+    /// interpreting any structure so a media error becomes a graceful
+    /// [`MediaError`] ("rebuild or report") instead of consumed garbage.
+    pub fn check_readable(&self, off: u64, len: usize) -> Result<(), MediaError> {
+        if self.poison_lines.load(Ordering::Relaxed) == 0 || len == 0 {
+            return Ok(());
+        }
+        match self.first_poisoned_line(off, len) {
+            None => Ok(()),
+            Some(line) => Err(MediaError {
+                off: line,
+                context: "pm range",
+            }),
+        }
+    }
+
+    fn first_poisoned_line(&self, off: u64, len: usize) -> Option<u64> {
+        if len == 0 {
+            return None;
+        }
+        let mut line = off & !(CACHELINE as u64 - 1);
+        let end = (off + len as u64).min(self.len as u64);
+        while line < end {
+            if self.line_poisoned(line) {
+                return Some(line);
+            }
+            line += CACHELINE as u64;
+        }
+        None
+    }
+
+    #[cold]
+    fn raise_on_poison(&self, off: u64, len: usize) {
+        if let Some(line) = self.first_poisoned_line(off, len) {
+            std::panic::panic_any(PoisonedRead { off: line });
+        }
+    }
+
+    /// Atomic RMW ops consume the old value, so they count as reads for
+    /// poison purposes even though they account as writes.
+    #[inline]
+    fn check_rmw_poison(&self, off: u64) {
+        if self.poison_lines.load(Ordering::Relaxed) != 0 {
+            self.raise_on_poison(off, 8);
+        }
+    }
+
+    /// Record word-granularity overwrites of poisoned lines; once all 8
+    /// words of a line have been fully rewritten its poison clears.
+    /// Only words *fully covered* by the write count — a partial-word
+    /// write merges with unreadable bytes and cannot clear anything.
+    #[cold]
+    fn note_poison_overwrite(&self, off: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = off.div_ceil(8);
+        let last_excl = (off + len as u64) / 8;
+        if first >= last_excl {
+            return;
+        }
+        let mut fill = self.poison_fill_slot();
+        for w in first..last_excl {
+            let line = (w * 8) & !(CACHELINE as u64 - 1);
+            if !self.line_poisoned(line) {
+                continue;
+            }
+            let entry = fill.entry(line).or_insert(0u8);
+            *entry |= 1 << ((w * 8 - line) / 8);
+            if *entry == 0xFF {
+                fill.remove(&line);
+                self.clear_poison_bit(line);
+            }
+        }
+    }
+
+    fn clear_poison_bit(&self, line: u64) {
+        let l = line / CACHELINE as u64;
+        let prev = self.poison[(l / 64) as usize].fetch_and(!(1u64 << (l % 64)), Ordering::Relaxed);
+        if prev & (1u64 << (l % 64)) != 0 {
+            self.poison_lines.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Scrub the lines covering `[off, off + len)`: zero-fill any
+    /// poisoned line in both images and clear its poison. This is what
+    /// an allocator does when it consults the bad-block list and
+    /// re-initializes a block before handing it out — the old contents
+    /// are gone, but the media is usable again.
+    pub fn scrub_poison(&self, off: u64, len: usize) {
+        if self.poison_lines.load(Ordering::Relaxed) == 0 || len == 0 {
+            return;
+        }
+        let mut line = off & !(CACHELINE as u64 - 1);
+        let end = (off + len as u64).min(self.len as u64);
+        while line < end {
+            if self.line_poisoned(line) {
+                let w0 = (line / 8) as usize;
+                for j in 0..8 {
+                    self.cpu[w0 + j].store(0, Ordering::Relaxed);
+                    self.persisted[w0 + j].store(0, Ordering::Relaxed);
+                }
+                self.poison_fill_slot().remove(&line);
+                self.clear_poison_bit(line);
+            }
+            line += CACHELINE as u64;
+        }
     }
 
     /// Persist one aligned word into the persisted image (8-byte failure
@@ -463,6 +865,7 @@ impl PmPool {
     /// Compare-and-exchange on an aligned `u64`.
     #[inline]
     pub fn cas_u64(&self, off: u64, current: u64, new: u64) -> Result<u64, u64> {
+        self.check_rmw_poison(off);
         self.account_write(off, 8);
         let r = self
             .word(off)
@@ -476,6 +879,7 @@ impl PmPool {
     /// Atomic fetch-or on an aligned `u64`.
     #[inline]
     pub fn fetch_or_u64(&self, off: u64, bits: u64, order: Ordering) -> u64 {
+        self.check_rmw_poison(off);
         self.account_write(off, 8);
         let r = self.word(off).fetch_or(bits, order);
         self.maybe_evict(off);
@@ -485,6 +889,7 @@ impl PmPool {
     /// Atomic fetch-and on an aligned `u64`.
     #[inline]
     pub fn fetch_and_u64(&self, off: u64, bits: u64, order: Ordering) -> u64 {
+        self.check_rmw_poison(off);
         self.account_write(off, 8);
         let r = self.word(off).fetch_and(bits, order);
         self.maybe_evict(off);
@@ -494,6 +899,7 @@ impl PmPool {
     /// Atomic fetch-add on an aligned `u64`.
     #[inline]
     pub fn fetch_add_u64(&self, off: u64, v: u64, order: Ordering) -> u64 {
+        self.check_rmw_poison(off);
         self.account_write(off, 8);
         let r = self.word(off).fetch_add(v, order);
         self.maybe_evict(off);
@@ -705,9 +1111,12 @@ impl PmPool {
             self.cpu[i].store(v, Ordering::Relaxed);
         }
         // Power-cycle semantics: the injection state dies with the CPU
-        // image. The captured crash report survives for inspection.
+        // image. The captured crash report survives for inspection, and
+        // poison survives too — media errors outlive power cycles.
         self.armed.store(0, Ordering::Relaxed);
         self.crashed.store(false, Ordering::Relaxed);
+        self.halted.store(false, Ordering::Relaxed);
+        *self.residual_slot() = None;
         self.clear_all_dirty();
         std::sync::atomic::fence(Ordering::SeqCst);
     }
@@ -1137,5 +1546,190 @@ mod tests {
         assert_eq!(p.fetch_and_u64(ROOT_AREA, 0xff, Ordering::AcqRel), 0x10b);
         assert_eq!(p.fetch_add_u64(ROOT_AREA, 1, Ordering::AcqRel), 0x0b);
         assert_eq!(p.read_u64(ROOT_AREA), 0x0c);
+    }
+
+    #[test]
+    fn crash_with_subset_keeps_exactly_the_masked_lines() {
+        let p = pool(8192);
+        // Three dirty lines, none flushed.
+        p.write_u64(ROOT_AREA, 1);
+        p.write_u64(ROOT_AREA + 64, 2);
+        p.write_u64(ROOT_AREA + 128, 3);
+        assert_eq!(p.residual_candidates().len(), 3);
+        // Keep only the middle line (candidates are recency-ordered,
+        // so bit 1 is the second-most-recent write: ROOT_AREA + 64).
+        let n = p.crash_with(crate::ResidualPolicy::Subset { mask: 0b010 });
+        assert_eq!(n, 3);
+        assert_eq!(p.read_u64(ROOT_AREA), 0, "unselected line vanished");
+        assert_eq!(p.read_u64(ROOT_AREA + 64), 2, "selected line persisted");
+        assert_eq!(p.read_u64(ROOT_AREA + 128), 0);
+        // The applied line is durable: a second plain crash keeps it.
+        p.crash();
+        assert_eq!(p.read_u64(ROOT_AREA + 64), 2);
+    }
+
+    #[test]
+    fn crash_with_frozen_matches_plain_crash() {
+        let p = pool(8192);
+        p.write_u64(ROOT_AREA, 7);
+        p.persist(ROOT_AREA, 8);
+        p.write_u64(ROOT_AREA + 64, 8); // dirty, unflushed
+        p.crash_with(crate::ResidualPolicy::Frozen);
+        assert_eq!(p.read_u64(ROOT_AREA), 7);
+        assert_eq!(p.read_u64(ROOT_AREA + 64), 0);
+    }
+
+    #[test]
+    fn sampled_residual_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<u64> {
+            let p = pool(1 << 16);
+            for i in 0..64u64 {
+                p.write_u64(ROOT_AREA + i * 64, i + 1);
+            }
+            p.crash_with(crate::ResidualPolicy::Sampled { seed, p_per_256: 128 });
+            (0..64u64)
+                .map(|i| p.read_u64(ROOT_AREA + i * 64))
+                .collect()
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b, "same seed, same residual image");
+        assert_ne!(a, c, "different seed, different subset");
+        let survived = a.iter().filter(|&&v| v != 0).count();
+        assert!(survived > 8 && survived < 56, "p=50%: survived={survived}");
+    }
+
+    #[test]
+    fn residual_candidates_are_ordered_most_recent_first() {
+        let p = pool(8192);
+        p.write_u64(ROOT_AREA, 1); // line A, oldest write...
+        p.write_u64(ROOT_AREA + 64, 2); // line B
+        p.write_u64(ROOT_AREA + 128, 3); // line C
+        p.write_u64(ROOT_AREA + 8, 4); // ...but A is rewritten last
+        let offs: Vec<u64> = p.residual_candidates().iter().map(|l| l.off).collect();
+        assert_eq!(offs, vec![ROOT_AREA, ROOT_AREA + 128, ROOT_AREA + 64]);
+        // Flushing a line removes it without disturbing the order.
+        p.persist(ROOT_AREA + 128, 8);
+        let offs: Vec<u64> = p.residual_candidates().iter().map(|l| l.off).collect();
+        assert_eq!(offs, vec![ROOT_AREA, ROOT_AREA + 64]);
+    }
+
+    #[test]
+    fn residual_candidates_are_frozen_at_the_trip_instant() {
+        let p = pool(8192);
+        p.write_u64(ROOT_AREA, 1); // dirty at trip time
+        p.arm_crash_after(1);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.sfence()));
+        assert!(p.crash_fired());
+        // Post-trip stores (e.g. from unwinding destructors) must not
+        // enter the candidate set: they never happened.
+        p.write_u64(ROOT_AREA + 512, 99);
+        let cands = p.residual_candidates();
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].off, ROOT_AREA);
+        assert_eq!(cands[0].words[0], 1);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_resets_everything() {
+        let p = pool(8192);
+        p.write_u64(ROOT_AREA, 5);
+        p.persist(ROOT_AREA, 8);
+        let img = p.snapshot_persisted();
+        p.write_u64(ROOT_AREA, 6);
+        p.persist(ROOT_AREA, 8);
+        p.write_u64(ROOT_AREA + 64, 7); // leave dirt
+        p.poison_line(ROOT_AREA + 128);
+        p.restore_persisted(&img);
+        assert_eq!(p.read_u64(ROOT_AREA), 5, "snapshot image restored");
+        assert_eq!(p.dirty_word_count(), 0, "restore clears dirt");
+        assert_eq!(p.poisoned_line_count(), 0, "restore clears poison");
+        p.crash();
+        assert_eq!(p.read_u64(ROOT_AREA), 5, "restored image is durable");
+    }
+
+    #[test]
+    fn poisoned_read_raises_and_check_readable_reports() {
+        let p = pool(8192);
+        p.write_u64(ROOT_AREA + 256, 11);
+        p.persist(ROOT_AREA + 256, 8);
+        p.poison_line(ROOT_AREA + 256);
+        assert_eq!(p.poisoned_line_count(), 1);
+        let err = p
+            .check_readable(ROOT_AREA, 1024)
+            .expect_err("range covers the poisoned line");
+        assert_eq!(err.off, ROOT_AREA + 256);
+        assert!(p.check_readable(ROOT_AREA, 64).is_ok());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.read_u64(ROOT_AREA + 256)
+        }));
+        let payload = r.expect_err("read of poisoned line must raise");
+        let mce = payload
+            .downcast_ref::<crate::PoisonedRead>()
+            .expect("payload is PoisonedRead");
+        assert_eq!(mce.off, ROOT_AREA + 256);
+        // CAS is a consuming read too.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = p.cas_u64(ROOT_AREA + 256, 0, 1);
+        }));
+        assert!(r.is_err(), "RMW on poisoned line must raise");
+    }
+
+    #[test]
+    fn poison_survives_crash_and_clears_on_full_rewrite() {
+        let p = pool(8192);
+        p.poison_line(ROOT_AREA + 64);
+        p.crash();
+        assert_eq!(p.poisoned_line_count(), 1, "media errors outlive power cycles");
+        // Partial rewrite: still poisoned.
+        for j in 0..7u64 {
+            p.write_u64(ROOT_AREA + 64 + j * 8, j);
+        }
+        assert_eq!(p.poisoned_line_count(), 1);
+        assert!(p.check_readable(ROOT_AREA + 64, 64).is_err());
+        // Final word completes the line: poison clears, data readable.
+        p.write_u64(ROOT_AREA + 64 + 56, 7);
+        assert_eq!(p.poisoned_line_count(), 0);
+        assert!(p.check_readable(ROOT_AREA + 64, 64).is_ok());
+        assert_eq!(p.read_u64(ROOT_AREA + 64), 0);
+    }
+
+    #[test]
+    fn scrub_poison_zero_fills_and_clears() {
+        let p = pool(8192);
+        p.write_u64(ROOT_AREA + 128, 33);
+        p.persist(ROOT_AREA + 128, 8);
+        p.poison_line(ROOT_AREA + 128);
+        p.scrub_poison(ROOT_AREA + 128, 8);
+        assert_eq!(p.poisoned_line_count(), 0);
+        assert_eq!(p.read_u64(ROOT_AREA + 128), 0, "scrub zero-fills");
+        p.crash();
+        assert_eq!(p.read_u64(ROOT_AREA + 128), 0, "scrub reaches media");
+    }
+
+    #[test]
+    fn halt_on_crash_unwinds_later_accesses() {
+        let p = pool(8192);
+        p.set_halt_on_crash(true);
+        p.arm_crash_after(1);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.sfence()));
+        assert!(p.is_halted());
+        // Any PM access from a non-panicking thread now unwinds: the
+        // device is gone.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.read_u64(ROOT_AREA)));
+        assert!(
+            r.unwrap_err().downcast_ref::<crate::CrashPointHit>().is_some(),
+            "halted access unwinds with CrashPointHit"
+        );
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.write_u64(ROOT_AREA, 1)));
+        assert!(r.is_err());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.sfence()));
+        assert!(r.is_err());
+        // The harness lifts the halt before dropping front-ends.
+        p.set_halt_on_crash(false);
+        assert!(!p.is_halted());
+        p.crash();
+        assert_eq!(p.read_u64(ROOT_AREA), 0);
     }
 }

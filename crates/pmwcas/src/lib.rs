@@ -35,7 +35,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use pmalloc::PmAllocator;
-use pmem::PmPool;
+use pmem::{MediaError, PmPool};
 
 /// Maximum words per operation (BzTree needs at most 3).
 pub const MAX_WORDS: usize = 4;
@@ -115,15 +115,29 @@ impl PmwCas {
 
     /// Reopen after a crash: complete or roll back every in-flight
     /// descriptor, then scrub dirty bits from their target words.
+    /// Panics on a media error; use [`PmwCas::try_recover`] to handle
+    /// poisoned descriptors gracefully.
     pub fn recover(alloc: &PmAllocator) -> Arc<PmwCas> {
+        Self::try_recover(alloc).unwrap_or_else(|e| panic!("PMwCAS recovery failed: {e}"))
+    }
+
+    /// Fallible recovery: probes the descriptor area and every in-flight
+    /// target word for media errors before interpreting them, so a
+    /// poisoned line surfaces as a reported [`MediaError`] instead of an
+    /// emulated machine-check.
+    pub fn try_recover(alloc: &PmAllocator) -> Result<Arc<PmwCas>, MediaError> {
         let pool = alloc.pool().clone();
+        pool.check_readable(SLOT_DESC_AREA * 8, 8)
+            .map_err(|e| e.context("PMwCAS descriptor-area slot"))?;
         let base = pool.read_u64(SLOT_DESC_AREA * 8);
         assert!(base != 0, "recover() without a descriptor area");
+        pool.check_readable(base, N_DESC * DESC_BYTES as usize)
+            .map_err(|e| e.context("PMwCAS descriptor area"))?;
         let s = Self::shell(pool, base);
         for idx in 0..N_DESC {
-            s.recover_descriptor(idx);
+            s.recover_descriptor(idx)?;
         }
-        Arc::new(s)
+        Ok(Arc::new(s))
     }
 
     fn shell(pool: Arc<PmPool>, base: u64) -> PmwCas {
@@ -336,19 +350,23 @@ impl PmwCas {
         self.pool.persist(addr, 8);
     }
 
-    /// Recovery for one descriptor slot.
-    fn recover_descriptor(&self, idx: usize) {
+    /// Recovery for one descriptor slot. Probes each in-flight target
+    /// word before reading it — the descriptor names arbitrary
+    /// application offsets that may sit on poisoned lines.
+    fn recover_descriptor(&self, idx: usize) -> Result<(), MediaError> {
         let pool = &*self.pool;
         let st = self.status_seq(idx);
         let state = st & ST_MASK;
         if state == ST_FREE {
-            return;
+            return Ok(());
         }
         let seq = st >> 3;
         let ptr = desc_ptr(idx, seq);
         let succeeded = state == ST_SUCCEEDED;
         for w in 0..self.count_of(idx) {
             let e = self.word_of(idx, w);
+            pool.check_readable(e.addr, 8)
+                .map_err(|err| err.context("PMwCAS in-flight target word"))?;
             let cur = pool.read_u64(e.addr);
             if cur == ptr {
                 let val = if succeeded { e.new } else { e.old };
@@ -361,6 +379,7 @@ impl PmwCas {
         }
         pool.write_u64(self.d_off(idx), seq << 3 | ST_FREE);
         pool.persist(self.d_off(idx), 8);
+        Ok(())
     }
 
     /// The underlying pool.

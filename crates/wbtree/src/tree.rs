@@ -5,7 +5,7 @@ use std::sync::Arc;
 use index_api::{Footprint, Key, RangeIndex, Value};
 use parking_lot::Mutex;
 use pmalloc::PmAllocator;
-use pmem::PmPool;
+use pmem::{MediaError, PmPool};
 
 use crate::node::{Node, WbLayout, SLOTS_VALID};
 use crate::WbTreeConfig;
@@ -259,10 +259,25 @@ impl WbTree {
 
     /// Reopen after a crash: repair half-finished splits (overlapping
     /// leaves), rebuild invalid slot arrays, garbage-collect
-    /// unreachable nodes, and bulk-load fresh inner nodes.
+    /// unreachable nodes, and bulk-load fresh inner nodes. Panics on a
+    /// media error; use [`WbTree::try_recover`] to handle poisoned
+    /// lines gracefully.
     pub fn recover(alloc: Arc<PmAllocator>, cfg: WbTreeConfig) -> Arc<WbTree> {
+        Self::try_recover(alloc, cfg).unwrap_or_else(|e| panic!("wB+Tree recovery failed: {e}"))
+    }
+
+    /// Fallible recovery: probes the root slots and every node in the
+    /// leaf chain for media errors *before* interpreting (or mutating)
+    /// them, so a poisoned line surfaces as a reported [`MediaError`] —
+    /// never as garbage records.
+    pub fn try_recover(
+        alloc: Arc<PmAllocator>,
+        cfg: WbTreeConfig,
+    ) -> Result<Arc<WbTree>, MediaError> {
         let layout = WbLayout::with_slots(cfg.node_entries, cfg.use_slot_array);
         let pool = alloc.pool().clone();
+        pool.check_readable(SLOT_ROOT * 8, 24)
+            .map_err(|e| e.context("wB+Tree root slots"))?;
         assert_eq!(
             pool.read_u64(SLOT_CFG * 8),
             cfg.node_entries as u64 | (cfg.use_slot_array as u64) << 32,
@@ -275,10 +290,15 @@ impl WbTree {
             layout,
             root: head,
         };
-        // Pass 1: walk the chain, fixing slot arrays.
+        // Pass 1: walk the chain, fixing slot arrays. Probe each node
+        // before reading it — and before the slot rebuild writes to it,
+        // since partial overwrites can mask the poison.
         let mut chain = Vec::new();
         let mut leaf = head;
         while leaf != 0 {
+            core.pool()
+                .check_readable(leaf, layout.size)
+                .map_err(|e| e.context("wB+Tree leaf"))?;
             let n = core.node(leaf);
             if layout.use_slots && n.bitmap() & SLOTS_VALID == 0 {
                 n.rebuild_slots();
@@ -344,9 +364,9 @@ impl WbTree {
         pool.write_u64(SLOT_ROOT * 8, root);
         pool.persist(SLOT_ROOT * 8, 8);
         core.root = root;
-        Arc::new(WbTree {
+        Ok(Arc::new(WbTree {
             core: Mutex::new(core),
-        })
+        }))
     }
 }
 

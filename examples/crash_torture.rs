@@ -10,14 +10,18 @@
 //!    completion, `crash()`, recover, verify exact equality.
 //!
 //! Eviction chaos stays enabled throughout, so unflushed lines
-//! sometimes persist anyway and recovery sees both worlds.
+//! sometimes persist anyway and recovery sees both worlds. Both plug
+//! pulls use the sampled torn-write model: each dirty line left at the
+//! cut independently persists with p = 1/2 (seeded, replayable).
 //!
 //! ```sh
-//! cargo run --release --example crash_torture [rounds] [--kind <name>]
+//! cargo run --release --example crash_torture [rounds] [--kind <name>] [--seed N]
 //! ```
 //!
 //! `--kind` filters to one of fptree / nvtree / wbtree / bztree
-//! (default: all four).
+//! (default: all four). `--seed` offsets the per-round seed stream;
+//! on failure the tool prints the exact command that replays the
+//! failing round.
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -29,7 +33,7 @@ use pm_index_bench::fptree::{FpTree, FpTreeConfig};
 use pm_index_bench::index_api::RangeIndex;
 use pm_index_bench::nvtree::{NvTree, NvTreeConfig};
 use pm_index_bench::pmalloc::{AllocMode, PmAllocator};
-use pm_index_bench::pmem::{CrashPointHit, PmConfig, PmPool};
+use pm_index_bench::pmem::{CrashPointHit, PmConfig, PmPool, ResidualPolicy};
 use pm_index_bench::wbtree::{WbTree, WbTreeConfig};
 
 const KINDS: [&str; 4] = ["fptree", "nvtree", "wbtree", "bztree"];
@@ -122,8 +126,8 @@ fn verify(kind: &str, idx: &dyn RangeIndex, model: &BTreeMap<u64, u64>, inflight
     }
 }
 
-fn torture(kind: &str, round: u64) {
-    let seed = round.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+fn torture(kind: &str, round_seed: u64) {
+    let seed = round_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let pool = Arc::new(PmPool::new(
         64 << 20,
         PmConfig::real().with_eviction_chaos(seed),
@@ -154,9 +158,14 @@ fn torture(kind: &str, round: u64) {
         pool.disarm_crash();
     }
 
-    // Pull the plug and recover.
+    // Pull the plug and recover. The sampled policy persists each
+    // dirty line left at the cut with p = 1/2 — a different torn image
+    // every round, replayable from the seed.
     drop(idx);
-    pool.crash();
+    pool.crash_with(ResidualPolicy::Sampled {
+        seed: seed ^ 0x7061_7274_6961_6c31,
+        p_per_256: 128,
+    });
     let alloc = PmAllocator::recover(pool.clone(), AllocMode::General);
     let idx = recover(kind, alloc);
     verify(kind, &*idx, &model, inflight);
@@ -176,7 +185,10 @@ fn torture(kind: &str, round: u64) {
         apply(&*idx, &mut model, op);
     }
     drop(idx);
-    pool.crash();
+    pool.crash_with(ResidualPolicy::Sampled {
+        seed: seed ^ 0x7061_7274_6961_6c32,
+        p_per_256: 128,
+    });
     let alloc = PmAllocator::recover(pool, AllocMode::General);
     let idx = recover(kind, alloc);
     verify(kind, &*idx, &model, None);
@@ -184,11 +196,21 @@ fn torture(kind: &str, round: u64) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let rounds: u64 = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(5);
+    // First positional arg = rounds; skip flag values so `--seed 7`
+    // is never misread as a round count.
+    let mut rounds: u64 = 5;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--kind" || args[i] == "--seed" {
+            i += 2;
+            continue;
+        }
+        if let Ok(r) = args[i].parse() {
+            rounds = r;
+            break;
+        }
+        i += 1;
+    }
     let kinds: Vec<&str> = match args.iter().position(|a| a == "--kind") {
         Some(i) => {
             let kind = args.get(i + 1).map(String::as_str).unwrap_or("");
@@ -203,12 +225,46 @@ fn main() {
         None => KINDS.to_vec(),
     };
 
+    // `--seed` offsets the round-seed stream; round r of base seed S
+    // is exactly round 0 of base seed S + r, so a failure replays as a
+    // single round.
+    let base_seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--seed expects an integer, got {v:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0u64);
+
     install_quiet_crash_hook();
     for kind in &kinds {
         for round in 0..rounds {
-            torture(kind, round);
+            let round_seed = base_seed.wrapping_add(round);
+            if let Err(payload) =
+                catch_unwind(AssertUnwindSafe(|| torture(kind, round_seed)))
+            {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("non-string panic payload");
+                eprintln!("{kind}: round {round} FAILED: {msg}");
+                eprintln!(
+                    "REPRODUCE: cargo run --release --example crash_torture -- 1 \
+                     --kind {kind} --seed {round_seed}"
+                );
+                std::process::exit(1);
+            }
         }
-        println!("{kind}: {rounds} crash rounds survived ✓ (mid-op injection + plug pull)");
+        println!(
+            "{kind}: {rounds} crash rounds survived ✓ (mid-op injection + sampled plug pull, \
+             seeds {base_seed}..{})",
+            base_seed.wrapping_add(rounds)
+        );
     }
     println!(
         "{} crash-consistent across {rounds} random workloads",

@@ -9,19 +9,35 @@
 //! * `crashpoints` — systematic crash-point exploration: count the
 //!   persistence events of a mixed workload, crash at every boundary,
 //!   recover, and verify the oracle invariant (see `crates/crashpoint`).
+//!   Beyond the frozen image, `--samples` turns on the torn-write model
+//!   (seeded residual images per boundary), `--exhaustive` enumerates
+//!   all subsets of the write frontier, and `--poison` injects a media
+//!   error into one lost line per sampled image.
+//! * `mtcrash` — multi-threaded crash consistency: crash while 2–8
+//!   threads hammer one index, then recover sampled residual images and
+//!   check the relaxed concurrent oracle.
 //!
 //! ```sh
 //! cargo run --release --example pm_inspector
 //! cargo run --release --example pm_inspector -- crashpoints --kind wbtree --ops 200
-//! cargo run --release --example pm_inspector -- crashpoints --kind all --ops 100 --chaos
+//! cargo run --release --example pm_inspector -- crashpoints --kind all --samples 4 --poison
+//! cargo run --release --example pm_inspector -- mtcrash --kind all --threads 4
 //! ```
 //!
 //! `crashpoints` flags: `--kind <name|all>`, `--ops N`, `--key-range N`,
-//! `--seed N`, `--chaos`, `--stride N`, `--max-boundaries N`.
+//! `--seed N`, `--chaos`, `--stride N`, `--max-boundaries N`,
+//! `--samples N`, `--p-per-256 N`, `--exhaustive LINES`, `--poison`.
+//!
+//! `mtcrash` flags: `--kind <name|all>`, `--threads N`, `--ops N` (per
+//! thread), `--boundaries N`, `--seed N`, `--samples N`, `--p-per-256 N`,
+//! `--poison`.
+//!
+//! Every run prints its seed; any failure is exactly reproducible by
+//! re-running with the printed flags.
 
 use std::sync::Arc;
 
-use pm_index_bench::crashpoint::{self, ExploreOptions, PM_KINDS};
+use pm_index_bench::crashpoint::{self, ExploreOptions, ResidualConfig, PM_KINDS};
 use pm_index_bench::fptree::{FpTree, FpTreeConfig};
 use pm_index_bench::index_api::RangeIndex;
 use pm_index_bench::pibench::report::Table;
@@ -33,8 +49,11 @@ fn main() {
     match args.first().map(String::as_str) {
         None | Some("footprint") => footprint(),
         Some("crashpoints") => crashpoints(&args[1..]),
+        Some("mtcrash") => mtcrash(&args[1..]),
         Some(other) => {
-            eprintln!("unknown subcommand {other:?}; expected `footprint` or `crashpoints`");
+            eprintln!(
+                "unknown subcommand {other:?}; expected `footprint`, `crashpoints` or `mtcrash`"
+            );
             std::process::exit(2);
         }
     }
@@ -120,27 +139,55 @@ fn flag_value(args: &[String], name: &str) -> Option<u64> {
         })
 }
 
-fn crashpoints(args: &[String]) {
+fn parse_kinds(args: &[String]) -> Vec<&'static str> {
     let kind_arg = args
         .iter()
         .position(|a| a == "--kind")
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "all".to_string());
-    let kinds: Vec<&str> = if kind_arg == "all" {
+    if kind_arg == "all" {
         PM_KINDS.to_vec()
-    } else if PM_KINDS.contains(&kind_arg.as_str()) {
-        vec![PM_KINDS.iter().find(|k| **k == kind_arg).copied().unwrap()]
+    } else if let Some(k) = PM_KINDS.iter().find(|k| **k == kind_arg) {
+        vec![*k]
     } else {
         eprintln!("--kind expects one of {PM_KINDS:?} or `all`, got {kind_arg:?}");
         std::process::exit(2);
-    };
+    }
+}
+
+/// The residual model selected by `--samples` / `--p-per-256` /
+/// `--exhaustive` (`--poison` implies sampling so there are lost lines
+/// to poison).
+fn parse_residual(args: &[String], poison: bool) -> ResidualConfig {
+    let samples = flag_value(args, "--samples");
+    let p_per_256 = flag_value(args, "--p-per-256").unwrap_or(128) as u32;
+    if let Some(max_lines) = flag_value(args, "--exhaustive") {
+        ResidualConfig::Exhaustive {
+            max_lines: max_lines as u32,
+            fallback_samples: samples.unwrap_or(2) as u32,
+        }
+    } else if samples.is_some() || poison {
+        ResidualConfig::Sampled {
+            samples: samples.unwrap_or(4) as u32,
+            p_per_256,
+        }
+    } else {
+        ResidualConfig::Frozen
+    }
+}
+
+fn crashpoints(args: &[String]) {
+    let kinds = parse_kinds(args);
     let ops = flag_value(args, "--ops").unwrap_or(200);
     let key_range = flag_value(args, "--key-range").unwrap_or(128);
     let seed = flag_value(args, "--seed").unwrap_or(1);
     let stride = flag_value(args, "--stride").unwrap_or(1);
     let max_boundaries = flag_value(args, "--max-boundaries");
     let chaos = args.iter().any(|a| a == "--chaos");
+    let poison = args.iter().any(|a| a == "--poison");
+    let residual = parse_residual(args, poison);
+    println!("crashpoints: seed {seed}, residual model {residual:?}, poison {poison}");
 
     let mut table = Table::new(vec![
         "index",
@@ -148,8 +195,10 @@ fn crashpoints(args: &[String]) {
         "events",
         "boundaries",
         "crashes",
-        "completed",
-        "clwb/nt/fence",
+        "samples",
+        "exhaustive",
+        "max cands",
+        "poison inj/rep",
         "max dirty lines",
         "redundant clwb",
         "failures",
@@ -164,6 +213,8 @@ fn crashpoints(args: &[String]) {
             chaos_seed: chaos.then_some(seed ^ 0x9e3779b97f4a7c15),
             stride,
             max_boundaries,
+            residual,
+            poison,
             ..ExploreOptions::default()
         };
         let s = crashpoint::explore(&opts);
@@ -180,11 +231,15 @@ fn crashpoints(args: &[String]) {
         for f in &s.failures {
             any_failures = true;
             println!(
-                "  FAIL at boundary {} ({}): {}",
+                "  FAIL at boundary {} ({}) under {:?}{}: {}",
                 f.boundary,
                 f.report
                     .map(|r| r.trigger.to_string())
                     .unwrap_or_else(|| "no trip".to_string()),
+                f.policy,
+                f.poisoned_off
+                    .map(|o| format!(", poisoned line {o:#x}"))
+                    .unwrap_or_default(),
                 f.detail
             );
         }
@@ -194,11 +249,10 @@ fn crashpoints(args: &[String]) {
             s.total_events.to_string(),
             s.boundaries_tested.to_string(),
             s.crashes_fired.to_string(),
-            s.completed_runs.to_string(),
-            format!(
-                "{}/{}/{}",
-                s.trigger_histogram[0], s.trigger_histogram[1], s.trigger_histogram[2]
-            ),
+            s.samples_run.to_string(),
+            s.exhaustive_boundaries.to_string(),
+            s.max_residual_candidates.to_string(),
+            format!("{}/{}", s.poison_injected, s.poison_reported),
             s.max_dirty_lines.to_string(),
             s.probe_redundant_clwb.to_string(),
             s.failures.len().to_string(),
@@ -207,11 +261,99 @@ fn crashpoints(args: &[String]) {
     println!("\nCrash-point exploration:\n");
     print!("{}", table.to_text());
     if any_failures {
-        println!("\nRESULT: oracle violations found (see FAIL lines above).");
+        println!(
+            "\nRESULT: oracle violations found (see FAIL lines above). \
+             Reproduce with --seed {seed}."
+        );
         std::process::exit(1);
     }
     println!(
-        "\nRESULT: every explored crash window recovered correctly — no \
-         acknowledged-but-unflushed state at any crash point."
+        "\nRESULT: every explored crash image recovered correctly — no \
+         acknowledged-but-unflushed state, no torn structure, no \
+         garbage from poisoned lines."
+    );
+}
+
+fn mtcrash(args: &[String]) {
+    let kinds = parse_kinds(args);
+    let threads = flag_value(args, "--threads").unwrap_or(4) as usize;
+    let ops_per_thread = flag_value(args, "--ops").unwrap_or(200);
+    let boundaries = flag_value(args, "--boundaries").unwrap_or(8);
+    let seed = flag_value(args, "--seed").unwrap_or(1);
+    let poison = args.iter().any(|a| a == "--poison");
+    let residual = if poison
+        || args
+            .iter()
+            .any(|a| a == "--samples" || a == "--exhaustive" || a == "--p-per-256")
+    {
+        parse_residual(args, poison)
+    } else {
+        crashpoint::mt::MtOptions::default().residual // sampled torn writes
+    };
+    println!(
+        "mtcrash: seed {seed}, {threads} threads, residual model {residual:?}, poison {poison}"
+    );
+
+    let mut table = Table::new(vec![
+        "index",
+        "threads",
+        "boundaries",
+        "crashes",
+        "threads cut",
+        "samples",
+        "max cands",
+        "poison inj/rep",
+        "failures",
+    ]);
+    let mut any_failures = false;
+    for kind in kinds {
+        let opts = crashpoint::mt::MtOptions {
+            kind: kind.to_string(),
+            threads,
+            ops_per_thread,
+            boundaries,
+            seed,
+            residual,
+            poison,
+            ..crashpoint::mt::MtOptions::default()
+        };
+        let s = crashpoint::mt::mt_crash_run(&opts);
+        for f in &s.failures {
+            any_failures = true;
+            println!(
+                "  {kind} FAIL at boundary {} under {:?}{}: {}",
+                f.boundary,
+                f.policy,
+                f.poisoned_off
+                    .map(|o| format!(", poisoned line {o:#x}"))
+                    .unwrap_or_default(),
+                f.detail
+            );
+        }
+        table.row(vec![
+            s.kind.clone(),
+            s.threads.to_string(),
+            s.boundaries_tested.to_string(),
+            s.crashes_fired.to_string(),
+            s.threads_cut.to_string(),
+            s.samples_run.to_string(),
+            s.max_residual_candidates.to_string(),
+            format!("{}/{}", s.poison_injected, s.poison_reported),
+            s.failures.len().to_string(),
+        ]);
+    }
+    println!("\nMulti-threaded crash consistency:\n");
+    print!("{}", table.to_text());
+    if any_failures {
+        println!(
+            "\nRESULT: concurrent-crash violations found (see FAIL lines \
+             above). Reproduce with --seed {seed}."
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "\nRESULT: every concurrent crash recovered to a state satisfying \
+         the relaxed oracle — acknowledged operations survive, in-flight \
+         operations are atomic, no torn values."
     );
 }

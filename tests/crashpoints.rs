@@ -12,7 +12,7 @@ mod common;
 use std::sync::Arc;
 
 use common::{create_small, recover_small, PM_KINDS};
-use pm_index_bench::crashpoint::{explore, ExploreOptions};
+use pm_index_bench::crashpoint::{explore, ExploreOptions, ResidualConfig};
 use pm_index_bench::pmalloc::{AllocMode, PmAllocator};
 use pm_index_bench::pmem::{PmConfig, PmPool};
 
@@ -26,6 +26,7 @@ fn sweep(kind: &str, chaos: bool) {
         chaos_seed: chaos.then_some(0xC4A05),
         stride: 5,
         max_boundaries: None,
+        ..ExploreOptions::default()
     };
     let summary = explore(&opts);
     assert!(summary.total_events > 0, "{kind}: empty boundary space");
@@ -45,6 +46,119 @@ fn sweep(kind: &str, chaos: bool) {
 fn crash_at_every_strided_boundary_recovers() {
     for kind in PM_KINDS {
         sweep(kind, false);
+    }
+}
+
+#[test]
+fn sampled_residual_images_recover_at_every_strided_boundary() {
+    // Torn-write model: at each boundary, each dirty-but-unflushed line
+    // independently persists with p = 1/2, several seeded samples per
+    // boundary. Every sampled image must satisfy the same oracle.
+    for kind in PM_KINDS {
+        let opts = ExploreOptions {
+            kind: kind.to_string(),
+            ops: 60,
+            key_range: 48,
+            seed: 13,
+            pool_mib: 16,
+            stride: 7,
+            residual: ResidualConfig::Sampled {
+                samples: 3,
+                p_per_256: 128,
+            },
+            ..ExploreOptions::default()
+        };
+        let summary = explore(&opts);
+        assert!(summary.crashes_fired > 0, "{kind}: injection never fired");
+        assert!(
+            summary.samples_run > summary.boundaries_tested,
+            "{kind}: sampling did not multiply the verification count"
+        );
+        assert!(
+            summary.is_green(),
+            "{kind}: {} torn-write violations, first: {:?}",
+            summary.failures.len(),
+            summary.failures.first()
+        );
+    }
+}
+
+#[test]
+fn exhaustive_subset_enumeration_covers_the_write_frontier() {
+    // Exhaustive model: residual candidates are recency-ordered, and
+    // every boundary gets all 2^j subsets of its j most-recently-written
+    // dirty lines (the in-flight operation's torn window), plus seeded
+    // samples over the older long-unflushed lines. Every enumerated
+    // image must satisfy the oracle.
+    for kind in PM_KINDS {
+        let opts = ExploreOptions {
+            kind: kind.to_string(),
+            ops: 40,
+            key_range: 32,
+            seed: 17,
+            pool_mib: 16,
+            stride: 11,
+            max_boundaries: Some(16),
+            residual: ResidualConfig::Exhaustive {
+                max_lines: 4,
+                fallback_samples: 2,
+            },
+            ..ExploreOptions::default()
+        };
+        let summary = explore(&opts);
+        assert!(
+            summary.exhaustive_boundaries > 0,
+            "{kind}: frontier enumeration never engaged \
+             (max candidates {})",
+            summary.max_residual_candidates
+        );
+        assert!(
+            summary.samples_run >= summary.exhaustive_boundaries * 16,
+            "{kind}: expected >= 2^4 subset images per exhausted boundary, \
+             got {} samples over {} boundaries",
+            summary.samples_run,
+            summary.exhaustive_boundaries
+        );
+        assert!(
+            summary.is_green(),
+            "{kind}: {} violations, first: {:?}",
+            summary.failures.len(),
+            summary.failures.first()
+        );
+    }
+}
+
+#[test]
+fn poisoned_lost_lines_are_reported_never_garbage() {
+    // Media-error model: one lost line per sampled image comes back
+    // unreadable. Recovery must either avoid it or report a MediaError —
+    // returning garbage or a raw PoisonedRead panic is a failure.
+    for kind in PM_KINDS {
+        let opts = ExploreOptions {
+            kind: kind.to_string(),
+            ops: 50,
+            key_range: 32,
+            seed: 29,
+            pool_mib: 16,
+            stride: 9,
+            residual: ResidualConfig::Sampled {
+                samples: 2,
+                p_per_256: 64,
+            },
+            poison: true,
+            ..ExploreOptions::default()
+        };
+        let summary = explore(&opts);
+        assert!(
+            summary.poison_injected > 0,
+            "{kind}: poison was never injected"
+        );
+        assert!(
+            summary.is_green(),
+            "{kind}: {} violations under media errors, first: {:?}",
+            summary.failures.len(),
+            summary.failures.first()
+        );
     }
 }
 
@@ -70,6 +184,7 @@ fn durability_audit_never_sees_huge_unflushed_state() {
             chaos_seed: None,
             stride: 9,
             max_boundaries: None,
+            ..ExploreOptions::default()
         };
         let summary = explore(&opts);
         assert!(summary.is_green(), "{kind}: {:?}", summary.failures.first());
