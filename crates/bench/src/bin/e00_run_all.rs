@@ -1,22 +1,48 @@
-//! Run every experiment (E1–E13) and write the collected reports to
-//! `results/experiments.txt` (and stdout). Scale via `PIBENCH_*`
-//! environment variables; see the `bench` crate docs.
+//! Run every experiment (E1–E16) and write the collected reports to
+//! `results/experiments.txt` (and stdout), plus one machine-readable
+//! `results/BENCH_E*.json` per experiment so the perf trajectory can be
+//! tracked across commits. Scale via `PIBENCH_*` environment variables
+//! (see the `bench` crate docs) or `--shards N` / `--only eNN` flags.
 
 use std::io::Write;
 
 fn main() {
-    let ctx = bench::cli::ExpCtx::from_env();
+    let mut ctx = bench::cli::ExpCtx::from_env();
+    let mut only: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--shards" => {
+                let v = args.next().expect("--shards needs a value");
+                ctx.shards = v
+                    .parse::<usize>()
+                    .expect("--shards must be a number")
+                    .max(1);
+            }
+            "--only" => only = Some(args.next().expect("--only needs an experiment id")),
+            other => {
+                eprintln!("unknown flag {other:?} (supported: --shards N, --only eNN)");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut all_out = String::new();
+    std::fs::create_dir_all("results").expect("create results dir");
     for (id, f) in bench::exp::all() {
+        if only.as_deref().is_some_and(|o| o != id) {
+            continue;
+        }
         eprintln!(">> running {id} …");
         let t0 = std::time::Instant::now();
         let out = f(&ctx);
         eprintln!("   {id} done in {:.1}s", t0.elapsed().as_secs_f64());
         print!("{out}");
-        all_out.push_str(&out);
+        all_out.push_str(&out.text);
+        let json_path = format!("results/BENCH_{}.json", id.to_uppercase());
+        std::fs::write(&json_path, format!("{}\n", out.json))
+            .unwrap_or_else(|e| panic!("write {json_path}: {e}"));
     }
-    std::fs::create_dir_all("results").expect("create results dir");
     let mut f = std::fs::File::create("results/experiments.txt").expect("create results file");
     f.write_all(all_out.as_bytes()).expect("write results");
-    eprintln!("results written to results/experiments.txt");
+    eprintln!("results written to results/experiments.txt (+ results/BENCH_E*.json)");
 }

@@ -2,20 +2,21 @@
 //! against one index and print the full metric set.
 //!
 //! ```text
-//! pibench --index fptree --records 1000000 --threads 8 \
-//!         --mix 90,10,0,0,0 --dist uniform --ops 1000000 [--dram] [--csv]
+//! pibench --index fptree --records 1000000 --threads 8 --shards 4 \
+//!         --mix 90,10,0,0,0 --dist uniform --ops 1000000 \
+//!         [--dram] [--csv] [--json out.json]
 //! ```
 
-use pibench::report::{fmt_bytes, fmt_ns, Table};
+use pibench::report::{fmt_bytes, fmt_ns, json_string, Table};
 use pibench::{prefill, run, BenchConfig, Distribution, KeySpace, OpMix};
 use pmem::PmConfig;
 
 fn usage() -> ! {
     eprintln!(
         "usage: pibench --index <fptree|nvtree|wbtree|bztree|dram> \
-         [--records N] [--threads N] [--ops N] \
+         [--records N] [--threads N] [--shards N] [--ops N] \
          [--mix L,I,U,R,S] [--dist uniform|selfsimilar|zipfian] \
-         [--scan-len N] [--seed N] [--dram] [--csv]"
+         [--scan-len N] [--seed N] [--dram] [--csv] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -30,8 +31,10 @@ fn main() {
     let mut dist = Distribution::Uniform;
     let mut scan_len = 100usize;
     let mut seed = 0x5EEDu64;
+    let mut shards: usize = 1;
     let mut dram_mode = false;
     let mut csv = false;
+    let mut json_path: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -43,6 +46,8 @@ fn main() {
             "--ops" => ops = val().parse().unwrap_or_else(|_| usage()),
             "--scan-len" => scan_len = val().parse().unwrap_or_else(|_| usage()),
             "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
+            "--shards" => shards = val().parse().unwrap_or_else(|_| usage()),
+            "--json" => json_path = Some(val()),
             "--dram" => dram_mode = true,
             "--csv" => csv = true,
             "--mix" => {
@@ -74,7 +79,7 @@ fn main() {
             }
         }
     }
-    if index_kind.is_empty() {
+    if index_kind.is_empty() || shards == 0 {
         usage();
     }
     mix.validate();
@@ -84,8 +89,12 @@ fn main() {
     } else {
         PmConfig::optane_like()
     };
-    eprintln!("building {index_kind} and prefilling {records} records …");
-    let built = bench::registry::build(&index_kind, records, pm_cfg);
+    eprintln!("building {index_kind} (shards={shards}) and prefilling {records} records …");
+    let built = if shards > 1 {
+        bench::registry::build_sharded(&index_kind, shards, records, pm_cfg)
+    } else {
+        bench::registry::build(&index_kind, records, pm_cfg)
+    };
     let ks = KeySpace::new(records);
     let load = prefill(&*built.index, &ks, threads.max(1));
     eprintln!(
@@ -106,11 +115,12 @@ fn main() {
         seed,
         negative_lookups: false,
     };
-    let r = run(&*built.index, &ks, built.pool.as_deref(), &cfg);
+    let r = run(&*built.index, &ks, &built.pools, &cfg);
 
     let mut t = Table::new(vec!["metric", "value"]);
-    t.row(vec!["index".to_string(), index_kind.clone()]);
+    t.row(vec!["index".to_string(), built.index.name().to_string()]);
     t.row(vec!["threads".to_string(), threads.to_string()]);
+    t.row(vec!["shards".to_string(), shards.to_string()]);
     t.row(vec![
         "elapsed".to_string(),
         format!("{:.3}s", r.elapsed.as_secs_f64()),
@@ -137,7 +147,7 @@ fn main() {
             ),
         ]);
     }
-    if built.pool.is_some() {
+    if !built.pools.is_empty() {
         t.row(vec![
             "PM media read".to_string(),
             format!(
@@ -180,4 +190,72 @@ fn main() {
     if csv {
         print!("{}", t.to_csv());
     }
+    if let Some(path) = json_path {
+        let json = result_json(&index_kind, shards, &cfg, &r, f);
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("json written to {path}");
+    }
+}
+
+/// Machine-readable run summary: parameters, throughput, per-kind tail
+/// latency, media traffic per op. Handwritten JSON (no serde in-tree).
+fn result_json(
+    index_kind: &str,
+    shards: usize,
+    cfg: &BenchConfig,
+    r: &pibench::RunResult,
+    f: index_api::Footprint,
+) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("{");
+    let _ = write!(
+        s,
+        "\"index\":{},\"shards\":{},\"threads\":{},\"total_ops\":{},\"elapsed_s\":{:.6},\"throughput_mops\":{:.6},\"misses\":{}",
+        json_string(index_kind),
+        shards,
+        cfg.threads,
+        r.total_ops(),
+        r.elapsed.as_secs_f64(),
+        r.mops(),
+        r.misses
+    );
+    s.push_str(",\"latency_ns\":{");
+    let mut first = true;
+    for k in pibench::workload::OP_KINDS {
+        if r.ops[k as usize] == 0 {
+            continue;
+        }
+        let h = &r.latency[k as usize];
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(
+            s,
+            "{}:{{\"p50\":{},\"p99\":{},\"p999\":{}}}",
+            json_string(k.label()),
+            h.percentile(50.0),
+            h.percentile(99.0),
+            h.percentile(99.9)
+        );
+    }
+    s.push('}');
+    let _ = write!(
+        s,
+        ",\"pm\":{{\"media_read_bytes\":{},\"media_write_bytes\":{},\"read_bytes_per_op\":{:.3},\"write_bytes_per_op\":{:.3},\"read_amplification\":{:.4},\"write_amplification\":{:.4},\"clwb\":{},\"fence\":{}}}",
+        r.pm.media_read_bytes,
+        r.pm.media_write_bytes,
+        r.pm_read_bytes_per_op(),
+        r.pm_write_bytes_per_op(),
+        r.pm.read_amplification(),
+        r.pm.write_amplification(),
+        r.pm.clwb,
+        r.pm.fence
+    );
+    let _ = writeln!(
+        s,
+        ",\"footprint\":{{\"pm_bytes\":{},\"dram_bytes\":{}}}}}",
+        f.pm_bytes, f.dram_bytes
+    );
+    s
 }

@@ -11,6 +11,9 @@ pub struct ExpCtx {
     pub ops_per_point: u64,
     /// Largest thread count in sweeps.
     pub max_threads: usize,
+    /// Shards per index (1 = classic single-pool build; >1 routes every
+    /// build through the range-partitioned [`engine::ShardedIndex`]).
+    pub shards: usize,
     /// Also emit CSV blocks.
     pub csv: bool,
 }
@@ -35,6 +38,7 @@ impl ExpCtx {
             records,
             ops_per_point: env_u64("PIBENCH_OPS", records),
             max_threads: env_u64("PIBENCH_THREADS", cores.min(8) as u64) as usize,
+            shards: env_u64("PIBENCH_SHARDS", 1).max(1) as usize,
             csv: std::env::var("PIBENCH_CSV").is_ok_and(|v| v == "1"),
         }
     }
@@ -85,6 +89,7 @@ mod tests {
             records: 1000,
             ops_per_point: 1000,
             max_threads: 6,
+            shards: 1,
             csv: false,
         };
         assert_eq!(ctx.thread_ladder(), vec![1, 2, 4, 6]);
@@ -107,6 +112,7 @@ mod tests {
             records: 10_000,
             ops_per_point: 10_000,
             max_threads: 4,
+            shards: 1,
             csv: false,
         };
         let cfg = ctx.point(

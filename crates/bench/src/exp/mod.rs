@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use pibench::report::{fmt_bytes, fmt_mops, fmt_ns, Table};
+use pibench::report::{fmt_bytes, fmt_mops, fmt_ns, json_string, Table};
 use pibench::{prefill, run, BenchConfig, Distribution, KeySpace, OpKind, OpMix, RunResult};
 use pmem::{PmConfig, PmPool};
 
@@ -19,24 +19,50 @@ pub fn pm_cfg() -> PmConfig {
     PmConfig::optane_like()
 }
 
-/// Build + prefill one index.
+/// Build + prefill one index, honoring the context's shard axis:
+/// `--shards N > 1` routes the build through the range-partitioned
+/// engine layer (N pools, N allocators, one `RangeIndex` front-end).
 fn fresh(kind: &str, ctx: &ExpCtx, pm: PmConfig) -> (Built, KeySpace) {
-    let b = registry::build(kind, ctx.records, pm);
+    let b = if ctx.shards > 1 {
+        registry::build_sharded(kind, ctx.shards, ctx.records, pm)
+    } else {
+        registry::build(kind, ctx.records, pm)
+    };
     let ks = KeySpace::new(ctx.records);
     prefill(&*b.index, &ks, ctx.max_threads);
     (b, ks)
 }
 
 fn run_point(b: &Built, ks: &KeySpace, cfg: &BenchConfig) -> RunResult {
-    run(&*b.index, ks, b.pool.as_deref(), cfg)
+    run(&*b.index, ks, &b.pools, cfg)
 }
 
-fn render(title: &str, ctx: &ExpCtx, table: &Table) -> String {
+/// One rendered experiment: the human-readable report plus a
+/// machine-readable JSON document (for `BENCH_E*.json` trajectory
+/// tracking across PRs).
+pub struct ExpReport {
+    /// Experiment title line.
+    pub title: String,
+    /// Text table (plus optional CSV block), as printed by the bench
+    /// targets.
+    pub text: String,
+    /// JSON object: run parameters plus the table as row objects.
+    pub json: String,
+}
+
+impl std::fmt::Display for ExpReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+fn render(title: &str, ctx: &ExpCtx, table: &Table) -> ExpReport {
     let mut out = format!(
-        "== {title} ==\n(records={}, ops/point={}, max_threads={})\n\n{}",
+        "== {title} ==\n(records={}, ops/point={}, max_threads={}, shards={})\n\n{}",
         ctx.records,
         ctx.ops_per_point,
         ctx.max_threads,
+        ctx.shards,
         table.to_text()
     );
     if ctx.csv {
@@ -44,7 +70,20 @@ fn render(title: &str, ctx: &ExpCtx, table: &Table) -> String {
         out.push_str(&table.to_csv());
     }
     out.push('\n');
-    out
+    let json = format!(
+        "{{\"title\":{},\"records\":{},\"ops_per_point\":{},\"max_threads\":{},\"shards\":{},\"rows\":{}}}",
+        json_string(title),
+        ctx.records,
+        ctx.ops_per_point,
+        ctx.max_threads,
+        ctx.shards,
+        table.to_json()
+    );
+    ExpReport {
+        title: title.to_string(),
+        text: out,
+        json,
+    }
 }
 
 /// Ops used by the throughput experiments, in run order: read-only
@@ -58,7 +97,7 @@ const E1_OPS: [OpKind; 5] = [
 ];
 
 /// E1 — single-threaded throughput per operation (uniform).
-pub fn e01(ctx: &ExpCtx) -> String {
+pub fn e01(ctx: &ExpCtx) -> ExpReport {
     let mut t = Table::new(vec![
         "index", "lookup", "scan", "update", "insert", "remove",
     ]);
@@ -76,7 +115,7 @@ pub fn e01(ctx: &ExpCtx) -> String {
 }
 
 /// Shared machinery for the scalability sweeps (E2/E3).
-fn scalability(ctx: &ExpCtx, ops: &[OpKind], dist: Distribution, title: &str) -> String {
+fn scalability(ctx: &ExpCtx, ops: &[OpKind], dist: Distribution, title: &str) -> ExpReport {
     let ladder = ctx.thread_ladder();
     let mut header = vec!["index".to_string(), "op".to_string()];
     header.extend(ladder.iter().map(|t| format!("{t}t")));
@@ -117,7 +156,7 @@ fn scalability(ctx: &ExpCtx, ops: &[OpKind], dist: Distribution, title: &str) ->
 }
 
 /// E2 — multi-threaded scalability under the uniform distribution.
-pub fn e02(ctx: &ExpCtx) -> String {
+pub fn e02(ctx: &ExpCtx) -> ExpReport {
     scalability(
         ctx,
         &[OpKind::Lookup, OpKind::Insert, OpKind::Update, OpKind::Scan],
@@ -127,7 +166,7 @@ pub fn e02(ctx: &ExpCtx) -> String {
 }
 
 /// E3 — multi-threaded scalability under self-similar 80/20 skew.
-pub fn e03(ctx: &ExpCtx) -> String {
+pub fn e03(ctx: &ExpCtx) -> ExpReport {
     scalability(
         ctx,
         &[OpKind::Lookup, OpKind::Update, OpKind::Scan],
@@ -137,7 +176,7 @@ pub fn e03(ctx: &ExpCtx) -> String {
 }
 
 /// E4 — mixed lookup/insert workloads across thread counts.
-pub fn e04(ctx: &ExpCtx) -> String {
+pub fn e04(ctx: &ExpCtx) -> ExpReport {
     let ladder = ctx.thread_ladder();
     let mut header = vec!["index".to_string(), "mix".to_string()];
     header.extend(ladder.iter().map(|t| format!("{t}t")));
@@ -169,7 +208,7 @@ pub fn e04(ctx: &ExpCtx) -> String {
 }
 
 /// E5 — tail latency percentiles.
-pub fn e05(ctx: &ExpCtx) -> String {
+pub fn e05(ctx: &ExpCtx) -> ExpReport {
     let mut t = Table::new(vec![
         "index", "op", "threads", "p50", "p90", "p99", "p99.9", "p99.99", "max",
     ]);
@@ -199,7 +238,7 @@ pub fn e05(ctx: &ExpCtx) -> String {
 }
 
 /// E6 — PM traffic per operation (read/write amplification).
-pub fn e06(ctx: &ExpCtx) -> String {
+pub fn e06(ctx: &ExpCtx) -> ExpReport {
     let mut t = Table::new(vec![
         "index",
         "op",
@@ -236,7 +275,7 @@ pub fn e06(ctx: &ExpCtx) -> String {
 }
 
 /// E7 — PM bandwidth consumption.
-pub fn e07(ctx: &ExpCtx) -> String {
+pub fn e07(ctx: &ExpCtx) -> ExpReport {
     let mut t = Table::new(vec!["index", "op", "readGiB/s", "writeGiB/s", "Mops/s"]);
     for kind in PM_KINDS {
         let (b, ks) = fresh(kind, ctx, pm_cfg());
@@ -256,7 +295,7 @@ pub fn e07(ctx: &ExpCtx) -> String {
 }
 
 /// E8 — memory consumption after loading (the paper's space table).
-pub fn e08(ctx: &ExpCtx) -> String {
+pub fn e08(ctx: &ExpCtx) -> ExpReport {
     let mut t = Table::new(vec![
         "index",
         "PM",
@@ -269,11 +308,15 @@ pub fn e08(ctx: &ExpCtx) -> String {
     for kind in ALL_KINDS {
         let (b, _ks) = fresh(kind, ctx, pm_cfg());
         let f = b.index.footprint();
-        let chunks = b
-            .alloc
-            .as_ref()
-            .map(|a| a.stats().bound_chunks.to_string())
-            .unwrap_or_else(|| "-".into());
+        let chunks = if b.allocs.is_empty() {
+            "-".to_string()
+        } else {
+            b.allocs
+                .iter()
+                .map(|a| a.stats().bound_chunks)
+                .sum::<u64>()
+                .to_string()
+        };
         t.row(vec![
             kind.to_string(),
             fmt_bytes(f.pm_bytes),
@@ -288,7 +331,7 @@ pub fn e08(ctx: &ExpCtx) -> String {
 
 /// E9 — fingerprinting ablation (FPTree ± fingerprints, positive and
 /// negative lookups).
-pub fn e09(ctx: &ExpCtx) -> String {
+pub fn e09(ctx: &ExpCtx) -> ExpReport {
     let mut t = Table::new(vec!["variant", "lookups", "threads", "Mops/s", "readB/op"]);
     for variant in ["fptree", "fptree-nofp"] {
         let b = registry::build(variant, ctx.records, pm_cfg());
@@ -315,7 +358,7 @@ pub fn e09(ctx: &ExpCtx) -> String {
 
 /// E10 — allocator impact on insert throughput (general vs. striped
 /// magazines).
-pub fn e10(ctx: &ExpCtx) -> String {
+pub fn e10(ctx: &ExpCtx) -> ExpReport {
     let ladder = ctx.thread_ladder();
     let mut header = vec!["index".to_string(), "allocator".to_string()];
     header.extend(ladder.iter().map(|t| format!("{t}t")));
@@ -345,7 +388,7 @@ pub fn e10(ctx: &ExpCtx) -> String {
 }
 
 /// E11 — recovery time vs. data size.
-pub fn e11(ctx: &ExpCtx) -> String {
+pub fn e11(ctx: &ExpCtx) -> ExpReport {
     let mut t = Table::new(vec!["index", "records", "recovery", "ms/Mrec"]);
     for kind in PM_KINDS {
         for frac in [4u64, 2, 1] {
@@ -353,7 +396,7 @@ pub fn e11(ctx: &ExpCtx) -> String {
             let b = registry::build(kind, records, pm_cfg());
             let ks = KeySpace::new(records);
             prefill(&*b.index, &ks, ctx.max_threads);
-            let pool: Arc<PmPool> = b.pool.clone().expect("pm index has a pool");
+            let pool: Arc<PmPool> = b.pool().cloned().expect("pm index has a pool");
             drop(b);
             pool.crash();
             let (b2, took) = registry::recover(kind, pool);
@@ -377,7 +420,7 @@ pub fn e11(ctx: &ExpCtx) -> String {
 }
 
 /// E12 — node-size sensitivity.
-pub fn e12(ctx: &ExpCtx) -> String {
+pub fn e12(ctx: &ExpCtx) -> ExpReport {
     let mut t = Table::new(vec!["index", "entries", "lookup", "insert", "scan"]);
     let sweeps: [(&str, &[usize]); 4] = [
         ("fptree", &[16, 32, 64]),
@@ -408,7 +451,7 @@ pub fn e12(ctx: &ExpCtx) -> String {
 
 /// E13 — PM indexes on DRAM (persistence elided) vs. the volatile
 /// baseline.
-pub fn e13(ctx: &ExpCtx) -> String {
+pub fn e13(ctx: &ExpCtx) -> ExpReport {
     let ladder = ctx.thread_ladder();
     let mut header = vec!["index".to_string(), "op".to_string()];
     header.extend(ladder.iter().map(|t| format!("{t}t")));
@@ -454,12 +497,12 @@ pub fn e13(ctx: &ExpCtx) -> String {
 }
 
 /// An experiment entry point.
-pub type ExpFn = fn(&ExpCtx) -> String;
+pub type ExpFn = fn(&ExpCtx) -> ExpReport;
 
 /// E14 — variable-length key support: inline vs pointer-stored keys
 /// (same 8-byte keys forced through the out-of-line path, as in the
 /// paper's var-key methodology).
-pub fn e14(ctx: &ExpCtx) -> String {
+pub fn e14(ctx: &ExpCtx) -> ExpReport {
     let mut t = Table::new(vec!["variant", "op", "Mops/s", "readB/op"]);
     for variant in ["fptree", "fptree-varkey"] {
         let b = registry::build(variant, ctx.records, pm_cfg());
@@ -485,7 +528,7 @@ pub fn e14(ctx: &ExpCtx) -> String {
 
 /// E15 — wB+Tree slot-array ablation: slot+bitmap (binary search, more
 /// fences) vs bitmap-only (linear search, fewer fences).
-pub fn e15(ctx: &ExpCtx) -> String {
+pub fn e15(ctx: &ExpCtx) -> ExpReport {
     let mut t = Table::new(vec!["variant", "op", "Mops/s", "fence/op", "clwb/op"]);
     for variant in ["wbtree", "wbtree-noslots"] {
         let b = registry::build(variant, ctx.records, pm_cfg());
@@ -507,6 +550,54 @@ pub fn e15(ctx: &ExpCtx) -> String {
     render("E15: wB+Tree slot-array ablation (1 thread)", ctx, &t)
 }
 
+/// E16 — sharding: shard-count × thread-count sweep through the engine
+/// layer. Every shard is an independent pool + allocator, so this
+/// isolates how much of the scalability ceiling is shared-resource
+/// contention (allocator class locks, pool state) rather than the index
+/// algorithm itself.
+pub fn e16(ctx: &ExpCtx) -> ExpReport {
+    let ladder = ctx.thread_ladder();
+    let mut shard_ladder = vec![1usize, 2, 4];
+    if !shard_ladder.contains(&ctx.shards) {
+        shard_ladder.push(ctx.shards);
+        shard_ladder.sort_unstable();
+    }
+    let mut header = vec!["index".to_string(), "op".to_string(), "shards".to_string()];
+    header.extend(ladder.iter().map(|t| format!("{t}t")));
+    let mut t = Table::new(header);
+    for kind in ["fptree", "bztree"] {
+        for op in [OpKind::Insert, OpKind::Lookup] {
+            let mutating = op == OpKind::Insert;
+            for &shards in &shard_ladder {
+                let mut cells = vec![kind.to_string(), op.label().to_string(), shards.to_string()];
+                // Reuse one prefilled build for non-growing ops.
+                let mut reuse: Option<(Built, KeySpace)> = None;
+                for &threads in &ladder {
+                    if reuse.is_none() {
+                        let b = registry::build_sharded(kind, shards, ctx.records, pm_cfg());
+                        let ks = KeySpace::new(ctx.records);
+                        prefill(&*b.index, &ks, ctx.max_threads);
+                        reuse = Some((b, ks));
+                    }
+                    let (b, ks) = reuse.as_ref().unwrap();
+                    let cfg = ctx.point(threads, OpMix::pure(op), Distribution::Uniform);
+                    let r = run_point(b, ks, &cfg);
+                    cells.push(fmt_mops(r.mops()));
+                    if mutating {
+                        reuse = None; // inserts grew the tree: rebuild
+                    }
+                }
+                t.row(cells);
+            }
+        }
+    }
+    render(
+        "E16: sharded engine, shard-count x thread-count (Mops/s, uniform)",
+        ctx,
+        &t,
+    )
+}
+
 /// All experiments in order, with ids and titles (for `e00_run_all`).
 pub fn all() -> Vec<(&'static str, ExpFn)> {
     vec![
@@ -525,6 +616,7 @@ pub fn all() -> Vec<(&'static str, ExpFn)> {
         ("e13", e13),
         ("e14", e14),
         ("e15", e15),
+        ("e16", e16),
     ]
 }
 
@@ -537,13 +629,14 @@ mod tests {
             records: 3_000,
             ops_per_point: 2_000,
             max_threads: 2,
+            shards: 1,
             csv: true,
         }
     }
 
     #[test]
     fn e01_smoke() {
-        let out = e01(&tiny());
+        let out = e01(&tiny()).text;
         assert!(out.contains("E1"));
         for kind in ALL_KINDS {
             assert!(out.contains(kind), "{kind} missing:\n{out}");
@@ -553,17 +646,51 @@ mod tests {
 
     #[test]
     fn e08_reports_footprints() {
-        let out = e08(&tiny());
+        let out = e08(&tiny()).text;
         assert!(out.contains("PM"));
         assert!(out.contains("dram"));
     }
 
     #[test]
     fn e11_recovers_all_kinds() {
-        let out = e11(&tiny());
+        let out = e11(&tiny()).text;
         for kind in PM_KINDS {
             assert!(out.contains(kind));
         }
         assert!(out.contains("ms"));
+    }
+
+    #[test]
+    fn e16_smoke_and_json() {
+        let r = e16(&ExpCtx {
+            records: 2_000,
+            ops_per_point: 1_000,
+            max_threads: 2,
+            shards: 2,
+            csv: false,
+        });
+        assert!(r.text.contains("E16"));
+        assert!(r.text.contains("shards"));
+        assert!(r.json.starts_with('{'));
+        assert!(r.json.contains("\"shards\":2"));
+        assert!(r.json.contains("\"rows\":["));
+    }
+
+    #[test]
+    fn sharded_fresh_runs_experiment_point() {
+        let ctx = ExpCtx {
+            records: 2_000,
+            ops_per_point: 1_000,
+            max_threads: 2,
+            shards: 3,
+            csv: false,
+        };
+        let (b, ks) = fresh("wbtree", &ctx, pm_cfg());
+        assert_eq!(b.pools.len(), 3);
+        let cfg = ctx.point(2, OpMix::pure(OpKind::Lookup), Distribution::Uniform);
+        let r = run_point(&b, &ks, &cfg);
+        assert_eq!(r.misses, 0);
+        // The merged PM delta must see traffic (lookups read all shards).
+        assert!(r.pm.read_ops > 0);
     }
 }

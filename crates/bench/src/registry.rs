@@ -5,11 +5,12 @@ use std::time::{Duration, Instant};
 
 use bztree::{BzTree, BzTreeConfig};
 use dram_index::DramTree;
+use engine::{Shard, ShardedIndex};
 use fptree::{FpTree, FpTreeConfig, KeyMode};
 use index_api::RangeIndex;
 use nvtree::{NvTree, NvTreeConfig};
 use pmalloc::{AllocMode, PmAllocator};
-use pmem::{PmConfig, PmPool};
+use pmem::{PmConfig, PmPool, ROOT_AREA};
 use wbtree::{WbTree, WbTreeConfig};
 
 /// The four evaluated PM indexes.
@@ -17,42 +18,59 @@ pub const PM_KINDS: [&str; 4] = ["fptree", "nvtree", "wbtree", "bztree"];
 /// PM indexes plus the volatile baseline.
 pub const ALL_KINDS: [&str; 5] = ["fptree", "nvtree", "wbtree", "bztree", "dram"];
 
-/// A constructed index with its (optional) backing pool/allocator.
+/// A constructed index with its backing pools/allocators (one per
+/// shard; empty for the DRAM baseline).
 pub struct Built {
     /// The index under test.
     pub index: Arc<dyn RangeIndex>,
-    /// Its emulated PM pool (None for the DRAM baseline).
-    pub pool: Option<Arc<PmPool>>,
-    /// Its allocator (None for the DRAM baseline).
-    pub alloc: Option<Arc<PmAllocator>>,
+    /// Its emulated PM pools, in shard order (empty for DRAM).
+    pub pools: Vec<Arc<PmPool>>,
+    /// Its allocators, in shard order (empty for DRAM).
+    pub allocs: Vec<Arc<PmAllocator>>,
 }
 
-/// Pool capacity heuristic: generous per-record budget (nodes are
+impl Built {
+    /// Back-compat single-shard accessor: the first (usually only) pool.
+    pub fn pool(&self) -> Option<&Arc<PmPool>> {
+        self.pools.first()
+    }
+
+    /// Back-compat single-shard accessor: the first (usually only)
+    /// allocator.
+    pub fn alloc(&self) -> Option<&Arc<PmAllocator>> {
+        self.allocs.first()
+    }
+}
+
+/// Fixed per-pool overhead that exists regardless of record count: the
+/// reserved root area plus allocator metadata (chunk directory, bitmaps,
+/// in-flight slots) and first-chunk slack. Charged once per pool so N
+/// small shard pools don't under-provision at low record counts.
+pub const POOL_FIXED_OVERHEAD: usize = ROOT_AREA as usize + (4 << 20);
+
+/// Per-record capacity budget: generous per-record bytes (nodes are
 /// half-full on average, BzTree keeps version chains until
-/// consolidation) plus fixed headroom.
-pub fn pool_bytes(records: u64) -> usize {
+/// consolidation) plus growth headroom for insert-heavy phases.
+fn record_budget(records: u64) -> usize {
     (records as usize) * 320 + (64 << 20)
 }
 
-/// Build a fresh index of `kind` sized for `records`, on a pool with
-/// the given device config. PM indexes default to the PMDK-like
-/// general allocator; see [`build_with_mode`] for the ablation.
-pub fn build(kind: &str, records: u64, pm: PmConfig) -> Built {
-    build_with_mode(kind, records, pm, AllocMode::General)
+/// Pool capacity heuristic for a single-pool index.
+pub fn pool_bytes(records: u64) -> usize {
+    pool_bytes_for_shard(records, 1)
 }
 
-/// Like [`build`], with an explicit allocation mode (E10).
-pub fn build_with_mode(kind: &str, records: u64, pm: PmConfig, mode: AllocMode) -> Built {
-    if kind == "dram" {
-        return Built {
-            index: Arc::new(DramTree::new()),
-            pool: None,
-            alloc: None,
-        };
-    }
-    let pool = Arc::new(PmPool::new(pool_bytes(records), pm));
-    let alloc = PmAllocator::format(pool.clone(), mode);
-    let index: Arc<dyn RangeIndex> = match kind {
+/// Capacity of ONE of `shards` pools jointly holding `total_records`:
+/// the record budget (and its growth headroom) splits across shards,
+/// the fixed overhead does not.
+pub fn pool_bytes_for_shard(total_records: u64, shards: usize) -> usize {
+    assert!(shards >= 1);
+    record_budget(total_records).div_ceil(shards) + POOL_FIXED_OVERHEAD
+}
+
+/// Fresh inner index of `kind` on an already-formatted allocator.
+fn make_index(kind: &str, alloc: &Arc<PmAllocator>) -> Arc<dyn RangeIndex> {
+    match kind {
         "fptree" => FpTree::create(alloc.clone(), FpTreeConfig::default()),
         "fptree-nofp" => FpTree::create(
             alloc.clone(),
@@ -79,11 +97,82 @@ pub fn build_with_mode(kind: &str, records: u64, pm: PmConfig, mode: AllocMode) 
         ),
         "bztree" => BzTree::create(alloc.clone(), BzTreeConfig::default()),
         other => panic!("unknown index kind {other:?}"),
-    };
+    }
+}
+
+/// Recover the inner index of `kind` from an already-recovered
+/// allocator.
+fn reopen_index(kind: &str, alloc: &Arc<PmAllocator>) -> Arc<dyn RangeIndex> {
+    match kind {
+        "fptree" => FpTree::recover(alloc.clone(), FpTreeConfig::default()),
+        "nvtree" => NvTree::recover(alloc.clone(), NvTreeConfig::default()),
+        "wbtree" => WbTree::recover(alloc.clone(), WbTreeConfig::default()),
+        "bztree" => BzTree::recover(alloc.clone(), BzTreeConfig::default()),
+        other => panic!("unknown index kind {other:?}"),
+    }
+}
+
+/// Build a fresh index of `kind` sized for `records`, on a pool with
+/// the given device config. PM indexes default to the PMDK-like
+/// general allocator; see [`build_with_mode`] for the ablation.
+pub fn build(kind: &str, records: u64, pm: PmConfig) -> Built {
+    build_with_mode(kind, records, pm, AllocMode::General)
+}
+
+/// Like [`build`], with an explicit allocation mode (E10).
+pub fn build_with_mode(kind: &str, records: u64, pm: PmConfig, mode: AllocMode) -> Built {
+    if kind == "dram" {
+        return Built {
+            index: Arc::new(DramTree::new()),
+            pools: Vec::new(),
+            allocs: Vec::new(),
+        };
+    }
+    let pool = Arc::new(PmPool::new(pool_bytes(records), pm));
+    let alloc = PmAllocator::format(pool.clone(), mode);
+    let index = make_index(kind, &alloc);
     Built {
         index,
-        pool: Some(pool),
-        alloc: Some(alloc),
+        pools: vec![pool],
+        allocs: vec![alloc],
+    }
+}
+
+/// Build a range-partitioned index: `shards` independent inner indexes
+/// of `kind`, each on its own pool + allocator, behind one
+/// [`ShardedIndex`]. `shards == 1` still wraps, so the shard axis is
+/// uniform in reports (`sharded-<kind>`).
+pub fn build_sharded(kind: &str, shards: usize, records: u64, pm: PmConfig) -> Built {
+    assert!(shards >= 1);
+    let per_shard: Vec<Shard> = (0..shards)
+        .map(|_| {
+            if kind == "dram" {
+                Shard {
+                    index: Arc::new(DramTree::new()),
+                    pool: None,
+                    alloc: None,
+                }
+            } else {
+                let pool = Arc::new(PmPool::new(
+                    pool_bytes_for_shard(records, shards),
+                    pm.clone(),
+                ));
+                let alloc = PmAllocator::format(pool.clone(), AllocMode::General);
+                Shard {
+                    index: make_index(kind, &alloc),
+                    pool: Some(pool),
+                    alloc: Some(alloc),
+                }
+            }
+        })
+        .collect();
+    let sharded = ShardedIndex::from_parts(per_shard);
+    let pools = sharded.pools();
+    let allocs = sharded.allocs();
+    Built {
+        index: sharded,
+        pools,
+        allocs,
     }
 }
 
@@ -125,8 +214,8 @@ pub fn build_with_node_size(kind: &str, records: u64, pm: PmConfig, entries: usi
     };
     Built {
         index,
-        pool: Some(pool),
-        alloc: Some(alloc),
+        pools: vec![pool],
+        allocs: vec![alloc],
     }
 }
 
@@ -135,19 +224,35 @@ pub fn build_with_node_size(kind: &str, records: u64, pm: PmConfig, entries: usi
 pub fn recover(kind: &str, pool: Arc<PmPool>) -> (Built, Duration) {
     let t0 = Instant::now();
     let alloc = PmAllocator::recover(pool.clone(), AllocMode::General);
-    let index: Arc<dyn RangeIndex> = match kind {
-        "fptree" => FpTree::recover(alloc.clone(), FpTreeConfig::default()),
-        "nvtree" => NvTree::recover(alloc.clone(), NvTreeConfig::default()),
-        "wbtree" => WbTree::recover(alloc.clone(), WbTreeConfig::default()),
-        "bztree" => BzTree::recover(alloc.clone(), BzTreeConfig::default()),
-        other => panic!("unknown index kind {other:?}"),
-    };
+    let index = reopen_index(kind, &alloc);
     let elapsed = t0.elapsed();
     (
         Built {
             index,
-            pool: Some(pool),
-            alloc: Some(alloc),
+            pools: vec![pool],
+            allocs: vec![alloc],
+        },
+        elapsed,
+    )
+}
+
+/// Reopen all shards of a crashed sharded index, timing the restart.
+/// `parallel` selects the one-thread-per-shard fast path.
+pub fn recover_sharded(kind: &str, pools: Vec<Arc<PmPool>>, parallel: bool) -> (Built, Duration) {
+    let t0 = Instant::now();
+    let sharded = ShardedIndex::recover_with(pools, parallel, |_, pool| {
+        let alloc = PmAllocator::try_recover(pool, AllocMode::General)?;
+        Ok((reopen_index(kind, &alloc), alloc))
+    })
+    .expect("shard recovery hit a media error");
+    let elapsed = t0.elapsed();
+    let pools = sharded.pools();
+    let allocs = sharded.allocs();
+    (
+        Built {
+            index: sharded,
+            pools,
+            allocs,
         },
         elapsed,
     )
@@ -163,7 +268,7 @@ mod tests {
             let b = build(kind, 10_000, PmConfig::real());
             assert!(b.index.insert(42, 1), "{kind}");
             assert_eq!(b.index.lookup(42), Some(1), "{kind}");
-            assert_eq!(b.pool.is_some(), kind != "dram");
+            assert_eq!(b.pool().is_some(), kind != "dram");
         }
     }
 
@@ -174,7 +279,7 @@ mod tests {
             for k in 0..500u64 {
                 b.index.insert(k, k + 1);
             }
-            let pool = b.pool.clone().unwrap();
+            let pool = b.pool().unwrap().clone();
             drop(b);
             pool.crash();
             let (b2, took) = recover(kind, pool);
@@ -195,5 +300,47 @@ mod tests {
             let mut out = Vec::new();
             assert_eq!(b.index.scan(0, 200, &mut out), 200, "{kind}");
         }
+    }
+
+    #[test]
+    fn sharded_pool_budget_charges_overhead_per_pool() {
+        let single = pool_bytes(1_000);
+        let per_shard = pool_bytes_for_shard(1_000, 8);
+        // Splitting must not divide the fixed overhead with the records.
+        assert!(per_shard > single / 8);
+        assert!(per_shard >= POOL_FIXED_OVERHEAD);
+        assert_eq!(pool_bytes_for_shard(1_000, 1), single);
+    }
+
+    #[test]
+    fn sharded_build_and_recovery_roundtrip() {
+        let shards = 4;
+        let b = build_sharded("wbtree", shards, 2_000, PmConfig::real());
+        assert_eq!(b.pools.len(), shards);
+        assert_eq!(b.index.name(), "sharded-wbtree");
+        let stride = u64::MAX / 600;
+        for i in 0..600u64 {
+            assert!(b.index.insert(i * stride, i));
+        }
+        let pools = b.pools.clone();
+        drop(b);
+        for p in &pools {
+            p.crash();
+        }
+        for parallel in [false, true] {
+            let (b2, took) = recover_sharded("wbtree", pools.clone(), parallel);
+            for i in 0..600u64 {
+                assert_eq!(b2.index.lookup(i * stride), Some(i), "key {i}");
+            }
+            assert!(took.as_nanos() > 0);
+        }
+    }
+
+    #[test]
+    fn sharded_dram_builds() {
+        let b = build_sharded("dram", 3, 1_000, PmConfig::real());
+        assert!(b.pools.is_empty());
+        assert!(b.index.insert(7, 7));
+        assert_eq!(b.index.lookup(7), Some(7));
     }
 }

@@ -54,6 +54,32 @@ impl Table {
         out
     }
 
+    /// Render as a JSON array of row objects keyed by column header
+    /// (handwritten — the workspace deliberately has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (ri, row) in self.rows.iter().enumerate() {
+            if ri > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            for (ci, cell) in row.iter().enumerate() {
+                if ci > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{}:{}",
+                    json_string(&self.header[ci]),
+                    json_string(cell)
+                );
+            }
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+
     /// Render as CSV.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
@@ -79,6 +105,27 @@ impl Table {
         }
         out
     }
+}
+
+/// Quote and escape a string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Format an ops/s figure the way the paper's axes do (Mops/s).
@@ -128,6 +175,19 @@ mod tests {
         let csv = t.to_csv();
         assert_eq!(csv.lines().next().unwrap(), "index,threads,mops");
         assert!(csv.contains("bztree,40,0.567"));
+    }
+
+    #[test]
+    fn json_rows_and_escaping() {
+        let mut t = Table::new(vec!["index", "mops"]);
+        t.row(vec!["fptree", "1.234"]);
+        t.row(vec!["a\"b", "x\ny"]);
+        assert_eq!(
+            t.to_json(),
+            r#"[{"index":"fptree","mops":"1.234"},{"index":"a\"b","mops":"x\ny"}]"#
+        );
+        assert_eq!(Table::new(vec!["a"]).to_json(), "[]");
+        assert_eq!(json_string("p\\q"), r#""p\\q""#);
     }
 
     #[test]

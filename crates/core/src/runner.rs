@@ -129,12 +129,15 @@ pub fn prefill(index: &dyn RangeIndex, keyspace: &KeySpace, threads: usize) -> D
 /// Run the measured phase described by `cfg` against `index`.
 ///
 /// The index must already be prefilled with `keyspace` (see
-/// [`prefill`]). When `pool` is given, its counters are reset and the
-/// delta reported in the result.
+/// [`prefill`]). `pools` holds the index's backing pools — one for a
+/// single-pool index, one per shard for a sharded one, empty for DRAM.
+/// Every pool's counters are reset at the start and the counter-wise
+/// sum of the deltas is reported in the result, so amplification and
+/// bandwidth figures aggregate transparently across shards.
 pub fn run(
     index: &dyn RangeIndex,
     keyspace: &KeySpace,
-    pool: Option<&PmPool>,
+    pools: &[Arc<PmPool>],
     cfg: &BenchConfig,
 ) -> RunResult {
     cfg.mix.validate();
@@ -147,7 +150,7 @@ pub fn run(
     let misses = AtomicU64::new(0);
     let sample_mask = (1u64 << cfg.latency_sample_shift) - 1;
 
-    if let Some(p) = pool {
+    for p in pools {
         p.reset_stats();
     }
     let start = Instant::now();
@@ -216,7 +219,8 @@ pub fn run(
     });
 
     let elapsed = start.elapsed();
-    let pm = pool.map(|p| p.stats()).unwrap_or_default();
+    let snaps: Vec<PmStatsSnapshot> = pools.iter().map(|p| p.stats()).collect();
+    let pm = PmStatsSnapshot::merged(snaps.iter());
 
     let mut ops = [0u64; 5];
     let mut latency: [LatencyHistogram; 5] = std::array::from_fn(|_| LatencyHistogram::new());
@@ -240,13 +244,13 @@ pub fn run(
 pub fn run_avg_mops(
     index: &dyn RangeIndex,
     keyspace: &KeySpace,
-    pool: Option<&PmPool>,
+    pools: &[Arc<PmPool>],
     cfg: &BenchConfig,
     repeats: usize,
 ) -> f64 {
     let mut total = 0.0;
     for _ in 0..repeats {
-        total += run(index, keyspace, pool, cfg).mops();
+        total += run(index, keyspace, pools, cfg).mops();
     }
     total / repeats as f64
 }
@@ -258,48 +262,11 @@ pub type IndexHandle = Arc<dyn RangeIndex>;
 mod tests {
     use super::*;
     use crate::OpKind;
-    use index_api::{Footprint, Key, Value};
-    use std::collections::BTreeMap;
-    use std::sync::Mutex;
-
-    struct MapIndex(Mutex<BTreeMap<Key, Value>>);
-
-    impl RangeIndex for MapIndex {
-        fn insert(&self, k: Key, v: Value) -> bool {
-            self.0.lock().unwrap().insert(k, v).is_none()
-        }
-        fn lookup(&self, k: Key) -> Option<Value> {
-            self.0.lock().unwrap().get(&k).copied()
-        }
-        fn update(&self, k: Key, v: Value) -> bool {
-            self.0.lock().unwrap().insert(k, v).is_some()
-        }
-        fn remove(&self, k: Key) -> bool {
-            self.0.lock().unwrap().remove(&k).is_some()
-        }
-        fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) -> usize {
-            out.clear();
-            out.extend(
-                self.0
-                    .lock()
-                    .unwrap()
-                    .range(start..)
-                    .take(count)
-                    .map(|(&k, &v)| (k, v)),
-            );
-            out.len()
-        }
-        fn name(&self) -> &'static str {
-            "map"
-        }
-        fn footprint(&self) -> Footprint {
-            Footprint::default()
-        }
-    }
+    use index_api::testing::MapIndex;
 
     #[test]
     fn prefill_then_lookups_all_hit() {
-        let idx = MapIndex(Mutex::new(BTreeMap::new()));
+        let idx = MapIndex::new();
         let ks = KeySpace::new(10_000);
         prefill(&idx, &ks, 4);
         let cfg = BenchConfig {
@@ -309,7 +276,7 @@ mod tests {
             mix: OpMix::pure(OpKind::Lookup),
             ..Default::default()
         };
-        let r = run(&idx, &ks, None, &cfg);
+        let r = run(&idx, &ks, &[], &cfg);
         assert_eq!(r.total_ops(), 20_000);
         assert_eq!(r.misses, 0, "every prefilled key must be found");
         assert!(r.ops[OpKind::Lookup as usize] == 20_000);
@@ -319,7 +286,7 @@ mod tests {
 
     #[test]
     fn insert_phase_has_no_collisions() {
-        let idx = MapIndex(Mutex::new(BTreeMap::new()));
+        let idx = MapIndex::new();
         let ks = KeySpace::new(1_000);
         prefill(&idx, &ks, 2);
         let cfg = BenchConfig {
@@ -329,14 +296,14 @@ mod tests {
             mix: OpMix::pure(OpKind::Insert),
             ..Default::default()
         };
-        let r = run(&idx, &ks, None, &cfg);
+        let r = run(&idx, &ks, &[], &cfg);
         assert_eq!(r.misses, 0, "insert keys must be fresh");
-        assert_eq!(idx.0.lock().unwrap().len(), 1_000 + 8_000);
+        assert_eq!(idx.len(), 1_000 + 8_000);
     }
 
     #[test]
     fn duration_mode_stops() {
-        let idx = MapIndex(Mutex::new(BTreeMap::new()));
+        let idx = MapIndex::new();
         let ks = KeySpace::new(100);
         prefill(&idx, &ks, 1);
         let cfg = BenchConfig {
@@ -348,14 +315,14 @@ mod tests {
             ..Default::default()
         };
         let t0 = Instant::now();
-        let r = run(&idx, &ks, None, &cfg);
+        let r = run(&idx, &ks, &[], &cfg);
         assert!(t0.elapsed() < Duration::from_secs(5));
         assert!(r.total_ops() > 0);
     }
 
     #[test]
     fn mixed_workload_counts_by_kind() {
-        let idx = MapIndex(Mutex::new(BTreeMap::new()));
+        let idx = MapIndex::new();
         let ks = KeySpace::new(5_000);
         prefill(&idx, &ks, 2);
         let cfg = BenchConfig {
@@ -365,7 +332,7 @@ mod tests {
             mix: OpMix::read_insert(90),
             ..Default::default()
         };
-        let r = run(&idx, &ks, None, &cfg);
+        let r = run(&idx, &ks, &[], &cfg);
         let lookups = r.ops[OpKind::Lookup as usize];
         let inserts = r.ops[OpKind::Insert as usize];
         assert_eq!(lookups + inserts, 20_000);
@@ -378,13 +345,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "exactly one")]
     fn config_must_choose_one_phase_length() {
-        let idx = MapIndex(Mutex::new(BTreeMap::new()));
+        let idx = MapIndex::new();
         let ks = KeySpace::new(10);
         let cfg = BenchConfig {
             ops_per_thread: None,
             duration: None,
             ..Default::default()
         };
-        run(&idx, &ks, None, &cfg);
+        run(&idx, &ks, &[], &cfg);
     }
 }

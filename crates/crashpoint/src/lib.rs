@@ -71,6 +71,7 @@ use nvtree::{NvTree, NvTreeConfig};
 use wbtree::{WbTree, WbTreeConfig};
 
 pub mod mt;
+pub mod sharded;
 
 /// The four persistent indexes the explorer knows how to build.
 pub const PM_KINDS: [&str; 4] = ["fptree", "nvtree", "wbtree", "bztree"];
@@ -162,10 +163,7 @@ pub fn try_recover_index(
 
 /// Recover the full stack (allocator + index) from the pool's persisted
 /// image, reporting the first media error hit on either layer.
-pub fn try_recover_stack(
-    kind: &str,
-    pool: Arc<PmPool>,
-) -> Result<Arc<dyn RangeIndex>, MediaError> {
+pub fn try_recover_stack(kind: &str, pool: Arc<PmPool>) -> Result<Arc<dyn RangeIndex>, MediaError> {
     let alloc = PmAllocator::try_recover(pool, AllocMode::General)?;
     try_recover_index(kind, alloc)
 }
@@ -223,7 +221,11 @@ pub fn workload(seed: u64, n_ops: u64, key_range: u64) -> Vec<WorkloadOp> {
 
 /// Apply one op, returning whether it was acknowledged, and fold the
 /// acknowledged effect into the oracle model.
-pub(crate) fn apply_op(idx: &dyn RangeIndex, model: &mut BTreeMap<u64, u64>, op: WorkloadOp) -> bool {
+pub(crate) fn apply_op(
+    idx: &dyn RangeIndex,
+    model: &mut BTreeMap<u64, u64>,
+    op: WorkloadOp,
+) -> bool {
     match op {
         WorkloadOp::Insert(k, v) => {
             let acked = idx.insert(k, v);
@@ -292,7 +294,10 @@ pub enum ResidualConfig {
     /// All `2^j` subsets of the `j = min(k, max_lines)` most recent
     /// dirty lines; when `k > max_lines`, also `fallback_samples`
     /// seeded 50% samples over the full candidate set.
-    Exhaustive { max_lines: u32, fallback_samples: u32 },
+    Exhaustive {
+        max_lines: u32,
+        fallback_samples: u32,
+    },
 }
 
 /// Derive the per-sample seed from the sweep seed, boundary and sample
@@ -601,7 +606,10 @@ pub fn verify_recovered(
 
 /// Probe run: execute the whole workload once, uninjected, and return
 /// the total persistence-event count plus per-op-type event stats.
-fn probe(opts: &ExploreOptions, ops: &[WorkloadOp]) -> (u64, u64, BTreeMap<&'static str, OpEventStats>) {
+fn probe(
+    opts: &ExploreOptions,
+    ops: &[WorkloadOp],
+) -> (u64, u64, BTreeMap<&'static str, OpEventStats>) {
     let env = fresh_env(opts);
     let base = env.pool.persist_event_count();
     let mut model = BTreeMap::new();
@@ -669,6 +677,7 @@ pub(crate) struct BoundaryOutcome {
 /// index must tolerate any subset of unflushed lines persisting).
 ///
 /// Shared by the single-threaded sweep and the multi-threaded runner.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_sample(
     kind: &str,
     pool: &Arc<PmPool>,
@@ -894,9 +903,18 @@ mod tests {
         let a = workload(9, 500, 128);
         let b = workload(9, 500, 128);
         assert_eq!(a, b);
-        let inserts = a.iter().filter(|o| matches!(o, WorkloadOp::Insert(..))).count();
-        let updates = a.iter().filter(|o| matches!(o, WorkloadOp::Update(..))).count();
-        let removes = a.iter().filter(|o| matches!(o, WorkloadOp::Remove(..))).count();
+        let inserts = a
+            .iter()
+            .filter(|o| matches!(o, WorkloadOp::Insert(..)))
+            .count();
+        let updates = a
+            .iter()
+            .filter(|o| matches!(o, WorkloadOp::Update(..)))
+            .count();
+        let removes = a
+            .iter()
+            .filter(|o| matches!(o, WorkloadOp::Remove(..)))
+            .count();
         assert!(inserts > updates && updates > 0 && removes > 0);
     }
 
@@ -922,7 +940,10 @@ mod tests {
     fn sample_policies_enumerate_small_sets_and_frontier_large_ones() {
         // k <= max_lines: the full 2^k subset space, nothing else.
         let (p, exhaustive) = sample_policies(
-            ResidualConfig::Exhaustive { max_lines: 6, fallback_samples: 2 },
+            ResidualConfig::Exhaustive {
+                max_lines: 6,
+                fallback_samples: 2,
+            },
             1,
             10,
             3,
@@ -935,7 +956,10 @@ mod tests {
         // k > max_lines: all 2^j masks over the j most recent lines,
         // plus the seeded fallback samples over the full set.
         let (p, exhaustive) = sample_policies(
-            ResidualConfig::Exhaustive { max_lines: 4, fallback_samples: 2 },
+            ResidualConfig::Exhaustive {
+                max_lines: 4,
+                fallback_samples: 2,
+            },
             1,
             10,
             40,
@@ -946,7 +970,10 @@ mod tests {
         assert!(matches!(p[16], ResidualPolicy::Sampled { .. }));
         // Seeds differ per boundary so no two boundaries share a sample.
         let (q, _) = sample_policies(
-            ResidualConfig::Exhaustive { max_lines: 4, fallback_samples: 2 },
+            ResidualConfig::Exhaustive {
+                max_lines: 4,
+                fallback_samples: 2,
+            },
             1,
             11,
             40,

@@ -1,0 +1,408 @@
+//! # engine — sharded multi-pool index layer
+//!
+//! Range-partitions the u64 keyspace across N shards, each an independent
+//! inner [`RangeIndex`] on its **own** [`PmPool`] and [`PmAllocator`].
+//! Threads operating on different shards share no locks, no allocator
+//! size classes, and no pool state — the structural bottlenecks of the
+//! single-pool design (allocator class locks, pool mutexes) become
+//! per-shard and therefore tunable with `--shards N`.
+//!
+//! ## Partitioning scheme
+//!
+//! Shard `i` of `n` owns the contiguous key range
+//! `[shard_start(i, n), shard_start(i + 1, n))`, computed by fixed-point
+//! multiplication: `shard_of(key, n) = (key * n) >> 64`. This divides the
+//! keyspace into n equal slices, is monotonic in `key` (so concatenating
+//! per-shard scans in shard order yields a globally sorted result), and
+//! needs no per-shard boundary table.
+//!
+//! ## Cross-shard scan continuation
+//!
+//! `scan(start, count)` begins in `shard_of(start)` and walks shards in
+//! ascending order: when shard *i* is exhausted before `count` records
+//! are produced, the scan continues from the first key of shard *i+1*
+//! until `count` is met or the last shard is drained.
+//!
+//! ## Recovery ordering
+//!
+//! Shards are fully independent (private pool + allocator), so recovery
+//! is embarrassingly parallel: [`ShardedIndex::recover_with`] re-opens
+//! every shard either sequentially (the obviously-correct path, used by
+//! the crash harness to keep failures deterministic) or on one scoped
+//! thread per shard (the fast path). Either way a shard's allocator is
+//! recovered before its index, and a [`MediaError`] on any shard fails
+//! the whole open.
+
+use std::sync::Arc;
+
+use index_api::{Footprint, Key, RangeIndex, Value};
+use pmalloc::PmAllocator;
+use pmem::{MediaError, PmPool, PmStatsSnapshot};
+
+/// One shard: an inner index plus the PM state backing it (absent for
+/// DRAM-only inners).
+pub struct Shard {
+    pub index: Arc<dyn RangeIndex>,
+    pub pool: Option<Arc<PmPool>>,
+    pub alloc: Option<Arc<PmAllocator>>,
+}
+
+/// Which shard owns `key` when the keyspace is split into `n` equal
+/// ranges. Monotonic in `key`; `shard_of(0, n) == 0` and
+/// `shard_of(u64::MAX, n) == n - 1`.
+#[inline]
+pub fn shard_of(key: Key, n: usize) -> usize {
+    debug_assert!(n >= 1);
+    ((key as u128 * n as u128) >> 64) as usize
+}
+
+/// Smallest key owned by shard `i` of `n` (`i < n`), i.e.
+/// `ceil(i * 2^64 / n)`.
+#[inline]
+pub fn shard_start(i: usize, n: usize) -> Key {
+    debug_assert!(i < n);
+    (((i as u128) << 64).div_ceil(n as u128)) as Key
+}
+
+fn sharded_name(inner: &str) -> &'static str {
+    match inner {
+        "fptree" => "sharded-fptree",
+        "fptree-nofp" => "sharded-fptree-nofp",
+        "fptree-varkey" => "sharded-fptree-varkey",
+        "nvtree" => "sharded-nvtree",
+        "wbtree" => "sharded-wbtree",
+        "wbtree-noslots" => "sharded-wbtree-noslots",
+        "bztree" => "sharded-bztree",
+        "dram-btree" => "sharded-dram-btree",
+        "map-index" => "sharded-map-index",
+        _ => "sharded",
+    }
+}
+
+/// A range-partitioned federation of inner indexes that itself
+/// implements the full [`RangeIndex`] contract.
+pub struct ShardedIndex {
+    shards: Vec<Shard>,
+    name: &'static str,
+}
+
+impl ShardedIndex {
+    /// Assemble from pre-built shards (shard `i` must hold key range
+    /// `[shard_start(i, n), shard_start(i + 1, n))`; the builder is
+    /// responsible for routing prefill through this wrapper so that
+    /// invariant holds).
+    pub fn from_parts(shards: Vec<Shard>) -> Arc<Self> {
+        assert!(!shards.is_empty(), "ShardedIndex needs at least one shard");
+        let name = sharded_name(shards[0].index.name());
+        Arc::new(Self { shards, name })
+    }
+
+    /// Re-open every shard from its pool's persisted image. `f` recovers
+    /// one shard (allocator first, then index) and is called once per
+    /// pool — sequentially when `parallel` is false, on one scoped
+    /// thread per shard otherwise. The first [`MediaError`] aborts the
+    /// open (on the parallel path the error of the lowest-indexed
+    /// failing shard is reported, so both paths fail deterministically).
+    pub fn recover_with<F>(
+        pools: Vec<Arc<PmPool>>,
+        parallel: bool,
+        f: F,
+    ) -> Result<Arc<Self>, MediaError>
+    where
+        F: Fn(usize, Arc<PmPool>) -> Result<(Arc<dyn RangeIndex>, Arc<PmAllocator>), MediaError>
+            + Sync,
+    {
+        assert!(!pools.is_empty(), "ShardedIndex needs at least one shard");
+        let recovered: Result<Vec<_>, MediaError> = if parallel && pools.len() > 1 {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = pools
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        let f = &f;
+                        let p = Arc::clone(p);
+                        s.spawn(move || f(i, p))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard recovery thread panicked"))
+                    .collect()
+            })
+        } else {
+            pools
+                .iter()
+                .enumerate()
+                .map(|(i, p)| f(i, Arc::clone(p)))
+                .collect()
+        };
+        let shards = recovered?
+            .into_iter()
+            .zip(pools)
+            .map(|((index, alloc), pool)| Shard {
+                index,
+                pool: Some(pool),
+                alloc: Some(alloc),
+            })
+            .collect();
+        Ok(Self::from_parts(shards))
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Index of the shard owning `key`.
+    #[inline]
+    pub fn shard_of(&self, key: Key) -> usize {
+        shard_of(key, self.shards.len())
+    }
+
+    /// First key owned by shard `i`.
+    #[inline]
+    pub fn shard_start(&self, i: usize) -> Key {
+        shard_start(i, self.shards.len())
+    }
+
+    /// The backing pools, in shard order (empty for DRAM inners).
+    pub fn pools(&self) -> Vec<Arc<PmPool>> {
+        self.shards.iter().filter_map(|s| s.pool.clone()).collect()
+    }
+
+    /// The backing allocators, in shard order (empty for DRAM inners).
+    pub fn allocs(&self) -> Vec<Arc<PmAllocator>> {
+        self.shards.iter().filter_map(|s| s.alloc.clone()).collect()
+    }
+
+    /// Counter-wise sum of every shard pool's statistics.
+    pub fn merged_stats(&self) -> PmStatsSnapshot {
+        let snaps: Vec<PmStatsSnapshot> = self
+            .shards
+            .iter()
+            .filter_map(|s| s.pool.as_ref().map(|p| p.stats()))
+            .collect();
+        PmStatsSnapshot::merged(snaps.iter())
+    }
+
+    /// Reset every shard pool's counters.
+    pub fn reset_stats(&self) {
+        for s in &self.shards {
+            if let Some(p) = &s.pool {
+                p.reset_stats();
+            }
+        }
+    }
+
+    #[inline]
+    fn shard_index(&self, key: Key) -> &dyn RangeIndex {
+        &*self.shards[self.shard_of(key)].index
+    }
+}
+
+impl RangeIndex for ShardedIndex {
+    fn insert(&self, key: Key, value: Value) -> bool {
+        self.shard_index(key).insert(key, value)
+    }
+
+    fn lookup(&self, key: Key) -> Option<Value> {
+        self.shard_index(key).lookup(key)
+    }
+
+    fn update(&self, key: Key, value: Value) -> bool {
+        self.shard_index(key).update(key, value)
+    }
+
+    fn remove(&self, key: Key) -> bool {
+        self.shard_index(key).remove(key)
+    }
+
+    fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) -> usize {
+        out.clear();
+        if count == 0 {
+            return 0;
+        }
+        let mut tmp = Vec::new();
+        let mut s = self.shard_of(start);
+        let mut from = start;
+        while s < self.shards.len() && out.len() < count {
+            let got = self.shards[s].index.scan(from, count - out.len(), &mut tmp);
+            out.extend_from_slice(&tmp[..got]);
+            s += 1;
+            if s < self.shards.len() {
+                from = self.shard_start(s);
+            }
+        }
+        out.len()
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn footprint(&self) -> Footprint {
+        let mut total = Footprint::default();
+        for s in &self.shards {
+            let f = s.index.footprint();
+            total.pm_bytes += f.pm_bytes;
+            total.dram_bytes += f.dram_bytes;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use index_api::testing::MapIndex;
+    use pmalloc::AllocMode;
+    use pmem::PmConfig;
+
+    fn map_sharded(n: usize) -> Arc<ShardedIndex> {
+        let shards = (0..n)
+            .map(|_| Shard {
+                index: Arc::new(MapIndex::new()) as Arc<dyn RangeIndex>,
+                pool: None,
+                alloc: None,
+            })
+            .collect();
+        ShardedIndex::from_parts(shards)
+    }
+
+    #[test]
+    fn partition_math_is_monotonic_and_covers_boundaries() {
+        for n in [1usize, 2, 3, 4, 7, 16, 64] {
+            assert_eq!(shard_of(0, n), 0);
+            assert_eq!(shard_of(u64::MAX, n), n - 1);
+            assert_eq!(shard_start(0, n), 0);
+            for i in 0..n {
+                let s = shard_start(i, n);
+                assert_eq!(shard_of(s, n), i, "start of shard {i}/{n}");
+                if s > 0 {
+                    assert_eq!(shard_of(s - 1, n), i - 1, "key before shard {i}/{n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_respects_partition() {
+        let idx = map_sharded(4);
+        let keys = [0u64, 1, u64::MAX / 4, u64::MAX / 2, u64::MAX - 1, u64::MAX];
+        for &k in &keys {
+            assert!(idx.insert(k, k ^ 1));
+        }
+        // Each key landed in exactly the shard the partition function says.
+        for &k in &keys {
+            let owner = idx.shard_of(k);
+            for (i, sh) in idx.shards().iter().enumerate() {
+                assert_eq!(sh.index.lookup(k).is_some(), i == owner);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_map_passes_conformance() {
+        for n in [1usize, 2, 3, 5, 8] {
+            let idx = map_sharded(n);
+            // Full-width keys so the stream actually straddles shards.
+            index_api::oracle::check_conformance(&*idx, 0xBEEF + n as u64, 4_000, u64::MAX);
+        }
+    }
+
+    #[test]
+    fn scan_continues_across_empty_shards() {
+        let idx = map_sharded(8);
+        // Populate only shards 0 and 6.
+        let lo = [1u64, 2, 3];
+        let hi_base = shard_start(6, 8);
+        let hi = [hi_base, hi_base + 1, hi_base + 2];
+        for &k in lo.iter().chain(hi.iter()) {
+            assert!(idx.insert(k, k));
+        }
+        let mut out = Vec::new();
+        // Scan from 0 must walk through five empty shards and keep going.
+        assert_eq!(idx.scan(0, 5, &mut out), 5);
+        assert_eq!(
+            out.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![1, 2, 3, hi_base, hi_base + 1]
+        );
+        // count larger than the total record count drains everything.
+        assert_eq!(idx.scan(0, 100, &mut out), 6);
+        // Scan starting inside a trailing empty shard returns nothing.
+        assert_eq!(idx.scan(shard_start(7, 8), 10, &mut out), 0);
+    }
+
+    #[test]
+    fn scan_zero_count_and_clears_out() {
+        let idx = map_sharded(3);
+        idx.insert(10, 1);
+        let mut out = vec![(99u64, 99u64)];
+        assert_eq!(idx.scan(0, 0, &mut out), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn footprint_aggregates_shards() {
+        let idx = map_sharded(2);
+        idx.insert(1, 1); // shard 0
+        idx.insert(u64::MAX, 1); // shard 1
+        let f = idx.footprint();
+        assert_eq!(f.dram_bytes, 32); // 16 bytes/record in MapIndex
+    }
+
+    #[test]
+    fn merged_stats_sums_pools_and_resets() {
+        let mk_pool = || Arc::new(PmPool::new(1 << 20, PmConfig::default()));
+        let pools = [mk_pool(), mk_pool()];
+        pools[0].write_u64(pmem::ROOT_AREA, 7);
+        pools[0].read_u64(pmem::ROOT_AREA);
+        pools[1].read_u64(pmem::ROOT_AREA);
+        let shards = pools
+            .iter()
+            .map(|p| Shard {
+                index: Arc::new(MapIndex::new()) as Arc<dyn RangeIndex>,
+                pool: Some(Arc::clone(p)),
+                alloc: None,
+            })
+            .collect();
+        let idx = ShardedIndex::from_parts(shards);
+        let m = idx.merged_stats();
+        assert_eq!(m.read_ops, 2);
+        assert_eq!(m.write_ops, 1);
+        idx.reset_stats();
+        assert_eq!(idx.merged_stats(), PmStatsSnapshot::default());
+    }
+
+    #[test]
+    fn recover_with_runs_both_paths() {
+        for parallel in [false, true] {
+            let pools: Vec<_> = (0..3)
+                .map(|_| {
+                    let p = Arc::new(PmPool::new(4 << 20, PmConfig::default()));
+                    PmAllocator::format(Arc::clone(&p), AllocMode::General);
+                    p.persist_all();
+                    p
+                })
+                .collect();
+            let idx = ShardedIndex::recover_with(pools.clone(), parallel, |_, pool| {
+                let alloc = PmAllocator::try_recover(pool, AllocMode::General)?;
+                Ok((Arc::new(MapIndex::new()) as Arc<dyn RangeIndex>, alloc))
+            })
+            .expect("recovery succeeds");
+            assert_eq!(idx.shard_count(), 3);
+            assert_eq!(idx.pools().len(), 3);
+            assert_eq!(idx.allocs().len(), 3);
+            assert!(idx.insert(42, 42));
+        }
+    }
+
+    #[test]
+    fn sharded_name_table() {
+        let idx = map_sharded(2);
+        assert_eq!(idx.name(), "sharded-map-index");
+    }
+}

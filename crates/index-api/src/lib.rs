@@ -16,6 +16,7 @@
 use std::fmt;
 
 pub mod oracle;
+pub mod testing;
 
 /// Fixed-size key type used throughout the evaluation (the paper's
 /// default workload uses 8-byte integer keys).
@@ -83,54 +84,10 @@ pub trait RangeIndex: Send + Sync {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::BTreeMap;
-    use std::sync::Mutex;
-
-    /// Minimal reference implementation used to validate the trait's
-    /// contract and the oracle driver itself.
-    pub struct MapIndex(pub Mutex<BTreeMap<Key, Value>>);
-
-    impl RangeIndex for MapIndex {
-        fn insert(&self, key: Key, value: Value) -> bool {
-            use std::collections::btree_map::Entry;
-            match self.0.lock().unwrap().entry(key) {
-                Entry::Occupied(_) => false,
-                Entry::Vacant(e) => {
-                    e.insert(value);
-                    true
-                }
-            }
-        }
-        fn lookup(&self, key: Key) -> Option<Value> {
-            self.0.lock().unwrap().get(&key).copied()
-        }
-        fn update(&self, key: Key, value: Value) -> bool {
-            let mut m = self.0.lock().unwrap();
-            match m.get_mut(&key) {
-                Some(v) => {
-                    *v = value;
-                    true
-                }
-                None => false,
-            }
-        }
-        fn remove(&self, key: Key) -> bool {
-            self.0.lock().unwrap().remove(&key).is_some()
-        }
-        fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) -> usize {
-            out.clear();
-            let m = self.0.lock().unwrap();
-            out.extend(m.range(start..).take(count).map(|(&k, &v)| (k, v)));
-            out.len()
-        }
-        fn name(&self) -> &'static str {
-            "map-index"
-        }
-    }
 
     #[test]
     fn map_index_passes_conformance() {
-        let idx = MapIndex(Mutex::new(BTreeMap::new()));
+        let idx = testing::MapIndex::new();
         crate::oracle::check_conformance(&idx, 0xC0FFEE, 5_000, 1_000);
     }
 

@@ -1,0 +1,104 @@
+//! Shared test doubles.
+//!
+//! [`MapIndex`] is the reference `RangeIndex` used across the workspace's
+//! test suites (trait-contract tests, runner plumbing tests, sharded-engine
+//! proptests). It lives here so each crate does not grow its own slightly
+//! divergent copy of the same `Mutex<BTreeMap>` wrapper.
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::{Footprint, Key, RangeIndex, Value};
+
+/// Minimal reference implementation of [`RangeIndex`] backed by a
+/// `Mutex<BTreeMap>`. Follows the trait contract exactly: `insert`
+/// rejects duplicates without modifying the value, `update` only
+/// touches existing keys.
+#[derive(Default)]
+pub struct MapIndex {
+    map: Mutex<BTreeMap<Key, Value>>,
+}
+
+impl MapIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of records currently stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl RangeIndex for MapIndex {
+    fn insert(&self, key: Key, value: Value) -> bool {
+        match self.map.lock().unwrap().entry(key) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(e) => {
+                e.insert(value);
+                true
+            }
+        }
+    }
+
+    fn lookup(&self, key: Key) -> Option<Value> {
+        self.map.lock().unwrap().get(&key).copied()
+    }
+
+    fn update(&self, key: Key, value: Value) -> bool {
+        let mut m = self.map.lock().unwrap();
+        match m.get_mut(&key) {
+            Some(v) => {
+                *v = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn remove(&self, key: Key) -> bool {
+        self.map.lock().unwrap().remove(&key).is_some()
+    }
+
+    fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) -> usize {
+        out.clear();
+        let m = self.map.lock().unwrap();
+        out.extend(m.range(start..).take(count).map(|(&k, &v)| (k, v)));
+        out.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "map-index"
+    }
+
+    fn footprint(&self) -> Footprint {
+        let m = self.map.lock().unwrap();
+        Footprint {
+            pm_bytes: 0,
+            dram_bytes: (m.len() * 16) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contract_basics() {
+        let idx = MapIndex::new();
+        assert!(idx.insert(1, 10));
+        assert!(!idx.insert(1, 99));
+        assert_eq!(idx.lookup(1), Some(10));
+        assert!(!idx.update(2, 0));
+        assert!(idx.update(1, 11));
+        assert!(idx.remove(1));
+        assert!(!idx.remove(1));
+        assert!(idx.is_empty());
+    }
+}

@@ -80,7 +80,10 @@ impl NvTree {
     /// vlock clear writes to it, since partial overwrites can mask the
     /// poison — so a poisoned line surfaces as a reported
     /// [`MediaError`], never as garbage records.
-    pub fn try_recover(alloc: Arc<PmAllocator>, cfg: NvTreeConfig) -> Result<Arc<NvTree>, MediaError> {
+    pub fn try_recover(
+        alloc: Arc<PmAllocator>,
+        cfg: NvTreeConfig,
+    ) -> Result<Arc<NvTree>, MediaError> {
         let t = NvTree::shell(alloc, cfg);
         let pool = t.alloc.pool().clone();
         pool.check_readable(SLOT_HEAD * 8, 16)

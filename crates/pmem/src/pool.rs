@@ -661,7 +661,10 @@ impl PmPool {
     /// power cycles, like a real bad block.
     pub fn poison_line(&self, off: u64) {
         let line = off & !(CACHELINE as u64 - 1);
-        assert!((line as usize) + CACHELINE <= self.len, "poison out of bounds");
+        assert!(
+            (line as usize) + CACHELINE <= self.len,
+            "poison out of bounds"
+        );
         let l = line / CACHELINE as u64;
         let prev = self.poison[(l / 64) as usize].fetch_or(1u64 << (l % 64), Ordering::Relaxed);
         if prev & (1u64 << (l % 64)) == 0 {
@@ -1470,12 +1473,24 @@ mod tests {
         p.persist(ROOT_AREA + 1024, 8);
         p.ntstore_u64(ROOT_AREA + 1032, 8);
         p.crash();
-        assert_eq!(p.read_u64(ROOT_AREA + 1024), 0, "frozen clwb must not persist");
-        assert_eq!(p.read_u64(ROOT_AREA + 1032), 0, "frozen ntstore must not persist");
+        assert_eq!(
+            p.read_u64(ROOT_AREA + 1024),
+            0,
+            "frozen clwb must not persist"
+        );
+        assert_eq!(
+            p.read_u64(ROOT_AREA + 1032),
+            0,
+            "frozen ntstore must not persist"
+        );
         // Pre-crash durable state survived; post-trip events did not.
         assert_eq!(p.read_u64(ROOT_AREA), 1);
         assert_eq!(p.read_u64(ROOT_AREA + 8), 100);
-        assert_eq!(p.read_u64(ROOT_AREA + 64), 2, "clwb before the fatal fence persisted");
+        assert_eq!(
+            p.read_u64(ROOT_AREA + 64),
+            2,
+            "clwb before the fatal fence persisted"
+        );
         assert!(!p.crash_fired(), "crash() clears the frozen state");
         assert!(p.crash_report().is_some(), "report survives crash()");
     }
@@ -1586,10 +1601,11 @@ mod tests {
             for i in 0..64u64 {
                 p.write_u64(ROOT_AREA + i * 64, i + 1);
             }
-            p.crash_with(crate::ResidualPolicy::Sampled { seed, p_per_256: 128 });
-            (0..64u64)
-                .map(|i| p.read_u64(ROOT_AREA + i * 64))
-                .collect()
+            p.crash_with(crate::ResidualPolicy::Sampled {
+                seed,
+                p_per_256: 128,
+            });
+            (0..64u64).map(|i| p.read_u64(ROOT_AREA + i * 64)).collect()
         };
         let a = run(42);
         let b = run(42);
@@ -1661,9 +1677,8 @@ mod tests {
             .expect_err("range covers the poisoned line");
         assert_eq!(err.off, ROOT_AREA + 256);
         assert!(p.check_readable(ROOT_AREA, 64).is_ok());
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            p.read_u64(ROOT_AREA + 256)
-        }));
+        let r =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.read_u64(ROOT_AREA + 256)));
         let payload = r.expect_err("read of poisoned line must raise");
         let mce = payload
             .downcast_ref::<crate::PoisonedRead>()
@@ -1681,7 +1696,11 @@ mod tests {
         let p = pool(8192);
         p.poison_line(ROOT_AREA + 64);
         p.crash();
-        assert_eq!(p.poisoned_line_count(), 1, "media errors outlive power cycles");
+        assert_eq!(
+            p.poisoned_line_count(),
+            1,
+            "media errors outlive power cycles"
+        );
         // Partial rewrite: still poisoned.
         for j in 0..7u64 {
             p.write_u64(ROOT_AREA + 64 + j * 8, j);
@@ -1719,10 +1738,13 @@ mod tests {
         // device is gone.
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.read_u64(ROOT_AREA)));
         assert!(
-            r.unwrap_err().downcast_ref::<crate::CrashPointHit>().is_some(),
+            r.unwrap_err()
+                .downcast_ref::<crate::CrashPointHit>()
+                .is_some(),
             "halted access unwinds with CrashPointHit"
         );
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.write_u64(ROOT_AREA, 1)));
+        let r =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.write_u64(ROOT_AREA, 1)));
         assert!(r.is_err());
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.sfence()));
         assert!(r.is_err());

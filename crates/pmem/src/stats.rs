@@ -191,6 +191,30 @@ impl PmStatsSnapshot {
         }
     }
 
+    /// Counter-wise sum `self + other`, for aggregating the pools of a
+    /// multi-shard index into one set of amplification/bandwidth figures.
+    pub fn merge(&mut self, other: &PmStatsSnapshot) {
+        self.read_ops += other.read_ops;
+        self.read_bytes += other.read_bytes;
+        self.write_ops += other.write_ops;
+        self.write_bytes += other.write_bytes;
+        self.media_read_bytes += other.media_read_bytes;
+        self.media_write_bytes += other.media_write_bytes;
+        self.clwb += other.clwb;
+        self.clwb_redundant += other.clwb_redundant;
+        self.ntstore += other.ntstore;
+        self.fence += other.fence;
+    }
+
+    /// Sum an iterator of snapshots (one per shard pool).
+    pub fn merged<'a, I: IntoIterator<Item = &'a PmStatsSnapshot>>(iter: I) -> PmStatsSnapshot {
+        let mut out = PmStatsSnapshot::default();
+        for s in iter {
+            out.merge(s);
+        }
+        out
+    }
+
     /// Read amplification: media bytes per software byte read.
     pub fn read_amplification(&self) -> f64 {
         if self.read_bytes == 0 {
@@ -262,6 +286,34 @@ mod tests {
         assert_eq!(s.read_amplification(), 4.0);
         assert_eq!(s.write_amplification(), 32.0);
         assert_eq!(PmStatsSnapshot::default().read_amplification(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counterwise() {
+        let a = PmStatsSnapshot {
+            read_ops: 1,
+            read_bytes: 8,
+            media_read_bytes: 256,
+            clwb: 2,
+            ..Default::default()
+        };
+        let b = PmStatsSnapshot {
+            read_ops: 3,
+            read_bytes: 24,
+            media_read_bytes: 512,
+            fence: 1,
+            ..Default::default()
+        };
+        let m = PmStatsSnapshot::merged([&a, &b]);
+        assert_eq!(m.read_ops, 4);
+        assert_eq!(m.read_bytes, 32);
+        assert_eq!(m.media_read_bytes, 768);
+        assert_eq!(m.clwb, 2);
+        assert_eq!(m.fence, 1);
+        assert_eq!(
+            PmStatsSnapshot::merged(std::iter::empty()),
+            PmStatsSnapshot::default()
+        );
     }
 
     #[test]

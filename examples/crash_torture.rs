@@ -95,7 +95,12 @@ fn apply(idx: &dyn RangeIndex, model: &mut BTreeMap<u64, u64>, op: WorkloadOp) {
     }
 }
 
-fn verify(kind: &str, idx: &dyn RangeIndex, model: &BTreeMap<u64, u64>, inflight: Option<InflightAllowance>) {
+fn verify(
+    kind: &str,
+    idx: &dyn RangeIndex,
+    model: &BTreeMap<u64, u64>,
+    inflight: Option<InflightAllowance>,
+) {
     for (&k, &v) in model {
         if inflight.map(|a| a.key) == Some(k) {
             continue;
@@ -121,7 +126,11 @@ fn verify(kind: &str, idx: &dyn RangeIndex, model: &BTreeMap<u64, u64>, inflight
     for (k, v) in out {
         match inflight {
             Some(a) if a.key == k => assert!(a.allows(Some(v)), "{kind}: in-flight ghost {k}"),
-            _ => assert_eq!(model.get(&k), Some(&v), "{kind}: ghost record {k} after crash"),
+            _ => assert_eq!(
+                model.get(&k),
+                Some(&v),
+                "{kind}: ghost record {k} after crash"
+            ),
         }
     }
 }
@@ -244,9 +253,7 @@ fn main() {
     for kind in &kinds {
         for round in 0..rounds {
             let round_seed = base_seed.wrapping_add(round);
-            if let Err(payload) =
-                catch_unwind(AssertUnwindSafe(|| torture(kind, round_seed)))
-            {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| torture(kind, round_seed))) {
                 let msg = payload
                     .downcast_ref::<String>()
                     .map(String::as_str)

@@ -75,7 +75,7 @@ fn main() {
             seed: 1,
             negative_lookups: false,
         };
-        let r = run(&*idx, &ks, pool.as_deref(), &cfg);
+        let r = run(&*idx, &ks, pool.as_slice(), &cfg);
         table.row(vec![
             kind.to_string(),
             format!("{:.3}", r.mops()),

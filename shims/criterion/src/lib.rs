@@ -56,7 +56,11 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let id = format!("{}/{}", self.name, id.into());
         run_bench(self.criterion, &id, f);
         self
@@ -161,7 +165,10 @@ fn run_bench(c: &Criterion, id: &str, mut f: impl FnMut(&mut Bencher)) {
     };
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = samples.get(samples.len() / 2).copied().unwrap_or(f64::NAN);
-    println!("{id:<48} mean {mean:>12.1} ns/iter  median {median:>12.1} ns/iter  ({} samples)", samples.len());
+    println!(
+        "{id:<48} mean {mean:>12.1} ns/iter  median {median:>12.1} ns/iter  ({} samples)",
+        samples.len()
+    );
 }
 
 #[macro_export]

@@ -299,7 +299,12 @@ impl<T> Atomic<T> {
         self.ptr.store(new.into_raw(), ord);
     }
 
-    pub fn swap<'g, P: Pointer<T>>(&self, new: P, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+    pub fn swap<'g, P: Pointer<T>>(
+        &self,
+        new: P,
+        ord: Ordering,
+        _guard: &'g Guard,
+    ) -> Shared<'g, T> {
         Shared {
             raw: self.ptr.swap(new.into_raw(), ord),
             _marker: PhantomData,

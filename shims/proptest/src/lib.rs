@@ -348,9 +348,7 @@ pub mod test_runner {
             let seed = name_hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
             let mut rng = TestRng::new(seed);
             if let Err(e) = body(&mut rng) {
-                panic!(
-                    "proptest '{test_name}' failed at case {case} (seed {seed:#x}): {e}"
-                );
+                panic!("proptest '{test_name}' failed at case {case} (seed {seed:#x}): {e}");
             }
         }
     }
@@ -416,12 +414,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
-        $crate::prop_assert!(
-            *l != *r,
-            "assertion failed: `{:?}` == `{:?}`",
-            l,
-            r
-        );
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` == `{:?}`", l, r);
     }};
 }
 

@@ -46,6 +46,7 @@
 pub use bztree;
 pub use crashpoint;
 pub use dram_index;
+pub use engine;
 pub use fptree;
 pub use htm;
 pub use index_api;

@@ -30,7 +30,7 @@ fn lookups_after_prefill_never_miss() {
         let r = run(
             &*idx,
             &ks,
-            pool.as_deref(),
+            pool.as_slice(),
             &cfg(4, 20_000, 40_000, OpMix::pure(OpKind::Lookup)),
         );
         assert_eq!(r.misses, 0, "{kind}: prefilled lookups must all hit");
@@ -48,7 +48,7 @@ fn inserts_after_prefill_never_collide() {
         let r = run(
             &*idx,
             &ks,
-            pool.as_deref(),
+            pool.as_slice(),
             &cfg(4, 5_000, 20_000, OpMix::pure(OpKind::Insert)),
         );
         assert_eq!(r.misses, 0, "{kind}: insert keys must be fresh");
@@ -66,7 +66,7 @@ fn pm_counters_reflect_persistence() {
         let r_ins = run(
             &*idx,
             &ks,
-            Some(&pool),
+            std::slice::from_ref(&pool),
             &cfg(2, 5_000, 5_000, OpMix::pure(OpKind::Insert)),
         );
         assert!(
@@ -83,14 +83,14 @@ fn pm_counters_reflect_persistence() {
             run(
                 &*idx,
                 &ks,
-                None,
+                &[],
                 &cfg(2, 5_000, 2_000, OpMix::pure(OpKind::Lookup)),
             );
         }
         let r_lku = run(
             &*idx,
             &ks,
-            Some(&pool),
+            std::slice::from_ref(&pool),
             &cfg(2, 5_000, 5_000, OpMix::pure(OpKind::Lookup)),
         );
         assert_eq!(
@@ -109,7 +109,7 @@ fn skewed_runs_complete_and_hit() {
         prefill(&*idx, &ks, 2);
         let mut c = cfg(2, 10_000, 10_000, OpMix::pure(OpKind::Lookup));
         c.distribution = Distribution::self_similar_80_20();
-        let r = run(&*idx, &ks, pool.as_deref(), &c);
+        let r = run(&*idx, &ks, pool.as_slice(), &c);
         assert_eq!(r.misses, 0, "{kind}");
     }
 }
@@ -126,7 +126,7 @@ fn latency_histograms_are_populated_per_kind() {
         remove: 10,
         scan: 10,
     };
-    let r = run(&*idx, &ks, pool.as_deref(), &cfg(2, 5_000, 20_000, mix));
+    let r = run(&*idx, &ks, pool.as_slice(), &cfg(2, 5_000, 20_000, mix));
     for k in [
         OpKind::Lookup,
         OpKind::Insert,
@@ -152,7 +152,7 @@ fn dram_mode_elides_all_media_writes() {
     let r = run(
         &*idx,
         &ks,
-        Some(&pool),
+        std::slice::from_ref(&pool),
         &cfg(2, 5_000, 5_000, OpMix::pure(OpKind::Insert)),
     );
     assert_eq!(
