@@ -7,16 +7,17 @@
 //!         [--dram] [--csv] [--json out.json]
 //! ```
 
-use pibench::report::{fmt_bytes, fmt_ns, json_string, Table};
-use pibench::{prefill, run, BenchConfig, Distribution, KeySpace, OpMix};
-use pmem::PmConfig;
+use pibench::report::{fmt_bytes, fmt_ns, JsonObj, Table};
+use pibench::{prefill, run, trace, BenchConfig, Distribution, KeySpace, OpMix};
+use pmem::{PmConfig, PmStatsSnapshot};
 
 fn usage() -> ! {
     eprintln!(
         "usage: pibench --index <fptree|nvtree|wbtree|bztree|dram> \
          [--records N] [--threads N] [--shards N] [--ops N] \
          [--mix L,I,U,R,S] [--dist uniform|selfsimilar|zipfian] \
-         [--scan-len N] [--seed N] [--dram] [--csv] [--json PATH]"
+         [--scan-len N] [--seed N] [--dram] [--csv] [--json PATH] \
+         [--trace PATH] [--sample-ms N]"
     );
     std::process::exit(2);
 }
@@ -35,6 +36,8 @@ fn main() {
     let mut dram_mode = false;
     let mut csv = false;
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut sample_ms: Option<u64> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -48,6 +51,8 @@ fn main() {
             "--seed" => seed = val().parse().unwrap_or_else(|_| usage()),
             "--shards" => shards = val().parse().unwrap_or_else(|_| usage()),
             "--json" => json_path = Some(val()),
+            "--trace" => trace_path = Some(val()),
+            "--sample-ms" => sample_ms = Some(val().parse().unwrap_or_else(|_| usage())),
             "--dram" => dram_mode = true,
             "--csv" => csv = true,
             "--mix" => {
@@ -115,7 +120,39 @@ fn main() {
         seed,
         negative_lookups: false,
     };
+    // Tracing / sampling is scoped to the measured phase: prefill
+    // traffic above is not attributed, teardown is not sampled.
+    let tracing = trace_path.is_some() || sample_ms.is_some();
+    let sampler = if tracing {
+        obs::reset();
+        obs::set_enabled(true);
+        sample_ms.map(|ms| {
+            let pools = built.pools.clone();
+            obs::Sampler::start(ms, move || {
+                let s = PmStatsSnapshot::merged(
+                    pools.iter().map(|p| p.stats()).collect::<Vec<_>>().iter(),
+                );
+                obs::PmCounters {
+                    read_bytes: s.read_bytes,
+                    write_bytes: s.write_bytes,
+                    media_read_bytes: s.media_read_bytes,
+                    media_write_bytes: s.media_write_bytes,
+                    clwb: s.clwb,
+                    ntstore: s.ntstore,
+                    fence: s.fence,
+                }
+            })
+        })
+    } else {
+        None
+    };
+
     let r = run(&*built.index, &ks, &built.pools, &cfg);
+
+    let series = sampler.map(|s| s.stop());
+    if tracing {
+        obs::set_enabled(false);
+    }
 
     let mut t = Table::new(vec!["metric", "value"]);
     t.row(vec!["index".to_string(), built.index.name().to_string()]);
@@ -190,72 +227,114 @@ fn main() {
     if csv {
         print!("{}", t.to_csv());
     }
+
+    let sites = if tracing {
+        obs::site_table()
+    } else {
+        Vec::new()
+    };
+    if tracing {
+        println!("\nper-site PM traffic attribution:");
+        print!("{}", trace::site_table(&sites).to_text());
+        if let Some(ts) = &series {
+            let steady = ts.steady_start();
+            println!(
+                "sampled {} intervals @ {}ms; steady state from t={}ms: \
+                 {:.3} Mops/s (whole run: {:.3})",
+                ts.points.len(),
+                ts.interval_ms,
+                ts.points.get(steady).map_or(0, |p| p.t_ms),
+                ts.mops_from(steady),
+                ts.mops_from(0),
+            );
+        }
+    }
+    if let Some(path) = &trace_path {
+        let events = obs::flight_events(usize::MAX);
+        let json = trace::chrome_trace_json(&events, &obs::site_names());
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("chrome trace ({} events) written to {path}", events.len());
+        if let Some(ts) = &series {
+            let csv_path = format!("{path}.timeseries.csv");
+            std::fs::write(&csv_path, trace::timeseries_csv(ts))
+                .unwrap_or_else(|e| panic!("write {csv_path}: {e}"));
+            eprintln!("time series written to {csv_path}");
+        }
+    }
     if let Some(path) = json_path {
-        let json = result_json(&index_kind, shards, &cfg, &r, f);
+        let json = result_json(&index_kind, shards, &cfg, &r, f, &sites, series.as_ref());
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
         eprintln!("json written to {path}");
     }
 }
 
 /// Machine-readable run summary: parameters, throughput, per-kind tail
-/// latency, media traffic per op. Handwritten JSON (no serde in-tree).
+/// latency, media traffic per op, and (when tracing) the per-site
+/// attribution. Built with the shared [`JsonObj`] helpers (no serde
+/// in-tree).
 fn result_json(
     index_kind: &str,
     shards: usize,
     cfg: &BenchConfig,
     r: &pibench::RunResult,
     f: index_api::Footprint,
+    sites: &[obs::SiteAgg],
+    series: Option<&obs::TimeSeries>,
 ) -> String {
-    use std::fmt::Write as _;
-    let mut s = String::from("{");
-    let _ = write!(
-        s,
-        "\"index\":{},\"shards\":{},\"threads\":{},\"total_ops\":{},\"elapsed_s\":{:.6},\"throughput_mops\":{:.6},\"misses\":{}",
-        json_string(index_kind),
-        shards,
-        cfg.threads,
-        r.total_ops(),
-        r.elapsed.as_secs_f64(),
-        r.mops(),
-        r.misses
-    );
-    s.push_str(",\"latency_ns\":{");
-    let mut first = true;
+    let mut o = JsonObj::new();
+    o.str("index", index_kind)
+        .u64("shards", shards as u64)
+        .u64("threads", cfg.threads as u64)
+        .u64("total_ops", r.total_ops())
+        .f64("elapsed_s", r.elapsed.as_secs_f64())
+        .f64("throughput_mops", r.mops())
+        .u64("misses", r.misses);
+
+    let mut latency = JsonObj::new();
     for k in pibench::workload::OP_KINDS {
         if r.ops[k as usize] == 0 {
             continue;
         }
         let h = &r.latency[k as usize];
-        if !first {
-            s.push(',');
-        }
-        first = false;
-        let _ = write!(
-            s,
-            "{}:{{\"p50\":{},\"p99\":{},\"p999\":{}}}",
-            json_string(k.label()),
-            h.percentile(50.0),
-            h.percentile(99.0),
-            h.percentile(99.9)
-        );
+        let mut pcts = JsonObj::new();
+        pcts.u64("p50", h.percentile(50.0))
+            .u64("p99", h.percentile(99.0))
+            .u64("p999", h.percentile(99.9))
+            .f64("mean", h.mean());
+        latency.obj(k.label(), pcts);
     }
-    s.push('}');
-    let _ = write!(
-        s,
-        ",\"pm\":{{\"media_read_bytes\":{},\"media_write_bytes\":{},\"read_bytes_per_op\":{:.3},\"write_bytes_per_op\":{:.3},\"read_amplification\":{:.4},\"write_amplification\":{:.4},\"clwb\":{},\"fence\":{}}}",
-        r.pm.media_read_bytes,
-        r.pm.media_write_bytes,
-        r.pm_read_bytes_per_op(),
-        r.pm_write_bytes_per_op(),
-        r.pm.read_amplification(),
-        r.pm.write_amplification(),
-        r.pm.clwb,
-        r.pm.fence
-    );
-    let _ = writeln!(
-        s,
-        ",\"footprint\":{{\"pm_bytes\":{},\"dram_bytes\":{}}}}}",
-        f.pm_bytes, f.dram_bytes
-    );
-    s
+    o.obj("latency_ns", latency);
+
+    let mut pm = JsonObj::new();
+    pm.u64("media_read_bytes", r.pm.media_read_bytes)
+        .u64("media_write_bytes", r.pm.media_write_bytes)
+        .f64("read_bytes_per_op", r.pm_read_bytes_per_op())
+        .f64("write_bytes_per_op", r.pm_write_bytes_per_op())
+        .f64("read_amplification", r.pm.read_amplification())
+        .f64("write_amplification", r.pm.write_amplification())
+        .u64("clwb", r.pm.clwb)
+        .u64("fence", r.pm.fence);
+    o.obj("pm", pm);
+
+    let mut fp = JsonObj::new();
+    fp.u64("pm_bytes", f.pm_bytes)
+        .u64("dram_bytes", f.dram_bytes);
+    o.obj("footprint", fp);
+
+    if !sites.is_empty() {
+        o.raw("sites", &trace::site_table_json(sites));
+    }
+    if let Some(ts) = series {
+        let steady = ts.steady_start();
+        let mut s = JsonObj::new();
+        s.u64("interval_ms", ts.interval_ms)
+            .u64("intervals", ts.points.len() as u64)
+            .u64(
+                "steady_start_ms",
+                ts.points.get(steady).map_or(0, |p| p.t_ms),
+            )
+            .f64("steady_mops", ts.mops_from(steady));
+        o.obj("timeseries", s);
+    }
+    o.finish()
 }

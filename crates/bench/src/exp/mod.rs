@@ -1,4 +1,4 @@
-//! The experiments (E1–E13), one function per table/figure.
+//! The experiments (E1–E17), one function per table/figure.
 //!
 //! Every function returns the rendered report so the `e00_run_all`
 //! binary can collect them into a results file; bench targets print to
@@ -6,8 +6,8 @@
 
 use std::sync::Arc;
 
-use pibench::report::{fmt_bytes, fmt_mops, fmt_ns, json_string, Table};
-use pibench::{prefill, run, BenchConfig, Distribution, KeySpace, OpKind, OpMix, RunResult};
+use pibench::report::{fmt_bytes, fmt_mops, fmt_ns, JsonObj, Table};
+use pibench::{prefill, run, trace, BenchConfig, Distribution, KeySpace, OpKind, OpMix, RunResult};
 use pmem::{PmConfig, PmPool};
 
 use crate::cli::ExpCtx;
@@ -57,6 +57,14 @@ impl std::fmt::Display for ExpReport {
 }
 
 fn render(title: &str, ctx: &ExpCtx, table: &Table) -> ExpReport {
+    render_extra(title, ctx, table, &[])
+}
+
+/// Render a report, appending `extra` raw-JSON fields to the document
+/// (e.g. E17 attaches the per-index site-attribution arrays). The JSON
+/// goes through the shared [`JsonObj`] builder, the same emitter the
+/// `pibench --json` path uses.
+fn render_extra(title: &str, ctx: &ExpCtx, table: &Table, extra: &[(String, String)]) -> ExpReport {
     let mut out = format!(
         "== {title} ==\n(records={}, ops/point={}, max_threads={}, shards={})\n\n{}",
         ctx.records,
@@ -70,19 +78,20 @@ fn render(title: &str, ctx: &ExpCtx, table: &Table) -> ExpReport {
         out.push_str(&table.to_csv());
     }
     out.push('\n');
-    let json = format!(
-        "{{\"title\":{},\"records\":{},\"ops_per_point\":{},\"max_threads\":{},\"shards\":{},\"rows\":{}}}",
-        json_string(title),
-        ctx.records,
-        ctx.ops_per_point,
-        ctx.max_threads,
-        ctx.shards,
-        table.to_json()
-    );
+    let mut o = JsonObj::new();
+    o.str("title", title)
+        .u64("records", ctx.records)
+        .u64("ops_per_point", ctx.ops_per_point)
+        .u64("max_threads", ctx.max_threads as u64)
+        .u64("shards", ctx.shards as u64)
+        .raw("rows", &table.to_json());
+    for (key, value) in extra {
+        o.raw(key, value);
+    }
     ExpReport {
         title: title.to_string(),
         text: out,
-        json,
+        json: o.finish(),
     }
 }
 
@@ -598,6 +607,65 @@ pub fn e16(ctx: &ExpCtx) -> ExpReport {
     )
 }
 
+/// E17 — per-site PM traffic attribution: FPTree vs BzTree uniform
+/// inserts with the `obs` tracing layer enabled around the measured
+/// phase. The paper reports *how much* media traffic each index
+/// generates (E6); this shows *where* it comes from — leaf appends vs
+/// structure modification vs allocator metadata — via the scoped
+/// `obs::site(..)` annotations inside the index crates.
+pub fn e17(ctx: &ExpCtx) -> ExpReport {
+    let mut t = Table::new(vec![
+        "index",
+        "site",
+        "events",
+        "clwb",
+        "redundant",
+        "ntstore",
+        "media_write",
+        "share%",
+    ]);
+    let mut extra: Vec<(String, String)> = Vec::new();
+    for kind in ["fptree", "bztree"] {
+        let (b, ks) = fresh(kind, ctx, pm_cfg());
+        // Trace only the measured insert phase: prefill traffic above is
+        // deliberately outside the enabled window.
+        obs::reset();
+        obs::set_enabled(true);
+        let cfg = ctx.point(1, OpMix::pure(OpKind::Insert), Distribution::Uniform);
+        let _ = run_point(&b, &ks, &cfg);
+        obs::set_enabled(false);
+        let sites = obs::site_table();
+        let total_wr: u64 = sites.iter().map(|s| s.media_write_bytes).sum();
+        for s in &sites {
+            if s.events == 0 {
+                continue;
+            }
+            let share = if total_wr == 0 {
+                0.0
+            } else {
+                100.0 * s.media_write_bytes as f64 / total_wr as f64
+            };
+            t.row(vec![
+                kind.to_string(),
+                s.name.clone(),
+                s.events.to_string(),
+                s.clwb.to_string(),
+                s.clwb_redundant.to_string(),
+                s.ntstore.to_string(),
+                fmt_bytes(s.media_write_bytes),
+                format!("{share:.1}"),
+            ]);
+        }
+        extra.push((format!("{kind}_sites"), trace::site_table_json(&sites)));
+    }
+    render_extra(
+        "E17: per-site PM write attribution, uniform inserts (1 thread)",
+        ctx,
+        &t,
+        &extra,
+    )
+}
+
 /// All experiments in order, with ids and titles (for `e00_run_all`).
 pub fn all() -> Vec<(&'static str, ExpFn)> {
     vec![
@@ -617,6 +685,7 @@ pub fn all() -> Vec<(&'static str, ExpFn)> {
         ("e14", e14),
         ("e15", e15),
         ("e16", e16),
+        ("e17", e17),
     ]
 }
 
@@ -674,6 +743,18 @@ mod tests {
         assert!(r.json.starts_with('{'));
         assert!(r.json.contains("\"shards\":2"));
         assert!(r.json.contains("\"rows\":["));
+    }
+
+    #[test]
+    fn e17_attributes_insert_traffic() {
+        let r = e17(&tiny());
+        assert!(r.text.contains("E17"));
+        // Both indexes appear with their annotated insert sites.
+        assert!(r.text.contains("fptree_insert"), "{}", r.text);
+        assert!(r.text.contains("bztree"), "{}", r.text);
+        assert!(r.json.contains("\"fptree_sites\":["), "{}", r.json);
+        assert!(r.json.contains("\"bztree_sites\":["), "{}", r.json);
+        assert!(r.json.contains("\"media_write_share\""), "{}", r.json);
     }
 
     #[test]

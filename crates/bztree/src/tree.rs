@@ -84,6 +84,7 @@ impl BzTree {
     /// Panics on a media error; use [`BzTree::try_recover`] to handle
     /// poisoned lines gracefully.
     pub fn recover(alloc: Arc<PmAllocator>, cfg: BzTreeConfig) -> Arc<BzTree> {
+        let _site = obs::site("bztree_recovery");
         Self::try_recover(alloc, cfg).unwrap_or_else(|e| panic!("BzTree recovery failed: {e}"))
     }
 
@@ -339,6 +340,7 @@ impl BzTree {
     /// update. Returns `Ok(true)` on success, `Ok(false)` when a
     /// duplicate blocks an insert, `Err(())` to retry from the root.
     fn append(&self, leaf: u64, key: Key, value: Value, dedup: bool) -> Result<bool, ()> {
+        let _site = obs::site("bztree_append");
         let st = read_status(&self.mw, &self.layout, leaf);
         if st.frozen || st.count == self.layout.entries {
             return Err(());
@@ -436,6 +438,7 @@ impl BzTree {
 
     /// Freeze `node` (if not already) and complete its SMO.
     fn freeze_and_smo(&self, node: u64, path: &[u64], guard: &epoch::Guard) {
+        let _site = obs::site("bztree_smo");
         let st = read_status(&self.mw, &self.layout, node);
         if !st.frozen
             && !self
@@ -563,6 +566,7 @@ impl BzTree {
 
 impl RangeIndex for BzTree {
     fn insert(&self, key: Key, value: Value) -> bool {
+        let _site = obs::site("bztree_insert");
         let guard = epoch::pin();
         loop {
             let d = self.descend(key);
@@ -582,6 +586,7 @@ impl RangeIndex for BzTree {
     }
 
     fn lookup(&self, key: Key) -> Option<Value> {
+        let _site = obs::site("bztree_lookup");
         let _guard = epoch::pin();
         let d = self.descend(key);
         match self.find_in_leaf(d.leaf, key) {
@@ -591,6 +596,7 @@ impl RangeIndex for BzTree {
     }
 
     fn update(&self, key: Key, value: Value) -> bool {
+        let _site = obs::site("bztree_update");
         let guard = epoch::pin();
         loop {
             let d = self.descend(key);
@@ -610,6 +616,7 @@ impl RangeIndex for BzTree {
     }
 
     fn remove(&self, key: Key) -> bool {
+        let _site = obs::site("bztree_remove");
         let guard = epoch::pin();
         loop {
             let d = self.descend(key);
@@ -632,6 +639,7 @@ impl RangeIndex for BzTree {
     }
 
     fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) -> usize {
+        let _site = obs::site("bztree_scan");
         out.clear();
         if count == 0 {
             return 0;

@@ -20,12 +20,16 @@
 //!   device counters) and index memory footprints.
 //! * **Reporting** ([`report`]): aligned text tables and CSV rows, the
 //!   same series the paper's figures plot.
+//! * **Tracing** ([`trace`]): exporters for the `obs` observability
+//!   subsystem — Chrome-trace/Perfetto JSON, time-series CSV and the
+//!   per-site traffic attribution table.
 
 pub mod dist;
 pub mod hist;
 pub mod keys;
 pub mod report;
 pub mod runner;
+pub mod trace;
 pub mod workload;
 
 pub use dist::Distribution;

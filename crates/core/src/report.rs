@@ -107,6 +107,121 @@ impl Table {
     }
 }
 
+/// Incremental JSON object builder (handwritten — the workspace
+/// deliberately has no serde). Shared by every emitter in the tree:
+/// `pibench --json`, the `e00_run_all` result files, and the obs
+/// trace/time-series exporters.
+///
+/// ```
+/// # use pibench::report::{JsonArr, JsonObj};
+/// let mut o = JsonObj::new();
+/// o.str("index", "fptree").u64("threads", 8).f64("mops", 1.25);
+/// assert_eq!(o.finish(), r#"{"index":"fptree","threads":8,"mops":1.25}"#);
+/// ```
+#[derive(Default)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    pub fn new() -> JsonObj {
+        JsonObj::default()
+    }
+
+    /// Append `key: value` with `value` already JSON-encoded.
+    pub fn raw(&mut self, key: &str, value: &str) -> &mut Self {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "{}:{}", json_string(key), value);
+        self
+    }
+
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        let v = json_string(value);
+        self.raw(key, &v)
+    }
+
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.raw(key, &value.to_string())
+    }
+
+    /// Floats render shortest-roundtrip; non-finite values become
+    /// `null` (JSON has no NaN/inf).
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        let v = if value.is_finite() {
+            value.to_string()
+        } else {
+            "null".to_string()
+        };
+        self.raw(key, &v)
+    }
+
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    /// Append a nested object.
+    pub fn obj(&mut self, key: &str, value: JsonObj) -> &mut Self {
+        let v = value.finish();
+        self.raw(key, &v)
+    }
+
+    /// Append a nested array.
+    pub fn arr(&mut self, key: &str, value: JsonArr) -> &mut Self {
+        let v = value.finish();
+        self.raw(key, &v)
+    }
+
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Incremental JSON array builder, companion to [`JsonObj`].
+#[derive(Default)]
+pub struct JsonArr {
+    buf: String,
+}
+
+impl JsonArr {
+    pub fn new() -> JsonArr {
+        JsonArr::default()
+    }
+
+    /// Append an element that is already JSON-encoded.
+    pub fn push_raw(&mut self, value: &str) -> &mut Self {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push_str(value);
+        self
+    }
+
+    pub fn push_obj(&mut self, value: JsonObj) -> &mut Self {
+        let v = value.finish();
+        self.push_raw(&v)
+    }
+
+    pub fn push_str(&mut self, value: &str) -> &mut Self {
+        let v = json_string(value);
+        self.push_raw(&v)
+    }
+
+    pub fn push_u64(&mut self, value: u64) -> &mut Self {
+        let v = value.to_string();
+        self.push_raw(&v)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn finish(&self) -> String {
+        format!("[{}]", self.buf)
+    }
+}
+
 /// Quote and escape a string as a JSON string literal.
 pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -188,6 +303,28 @@ mod tests {
         );
         assert_eq!(Table::new(vec!["a"]).to_json(), "[]");
         assert_eq!(json_string("p\\q"), r#""p\\q""#);
+    }
+
+    #[test]
+    fn json_builders_nest_and_escape() {
+        let mut inner = JsonObj::new();
+        inner.u64("p50", 120).u64("p99", 4096);
+        let mut arr = JsonArr::new();
+        arr.push_str("a\"b").push_u64(7);
+        let mut o = JsonObj::new();
+        o.str("index", "fptree")
+            .f64("mops", 0.5)
+            .f64("bad", f64::NAN)
+            .bool("dram", false)
+            .obj("latency", inner)
+            .arr("tags", arr);
+        assert_eq!(
+            o.finish(),
+            r#"{"index":"fptree","mops":0.5,"bad":null,"dram":false,"latency":{"p50":120,"p99":4096},"tags":["a\"b",7]}"#
+        );
+        assert_eq!(JsonObj::new().finish(), "{}");
+        assert_eq!(JsonArr::new().finish(), "[]");
+        assert!(JsonArr::new().is_empty());
     }
 
     #[test]

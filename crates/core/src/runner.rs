@@ -199,8 +199,11 @@ pub fn run(
                         Op::Scan(k, n) => index.scan(k, n, &mut scan_buf) > 0,
                     };
                     if let Some(t0) = t0 {
-                        out.hist[kind].record(t0.elapsed().as_nanos() as u64);
+                        let dur = t0.elapsed().as_nanos() as u64;
+                        out.hist[kind].record(dur);
+                        obs::op_complete(kind as u8, dur);
                     }
+                    obs::count_op();
                     out.ops[kind] += 1;
                     if !hit {
                         local_misses += 1;

@@ -1,0 +1,267 @@
+//! Exporters for the `obs` observability subsystem.
+//!
+//! * [`chrome_trace_json`] — the merged event tail as a Chrome-trace /
+//!   Perfetto "traceEvents" document (op spans as `X` complete events,
+//!   PM events as `i` instants with offset/length/media args).
+//! * [`timeseries_csv`] — the sampler's [`obs::TimeSeries`] as CSV.
+//! * [`site_table`] — per-site traffic attribution (events, media
+//!   bytes, share of total media writes), ready for text/CSV/JSON
+//!   rendering via [`Table`].
+//!
+//! All JSON goes through the shared [`JsonObj`]/[`JsonArr`] builders.
+
+use crate::report::{fmt_bytes, JsonArr, JsonObj, Table};
+use obs::{Event, EventKind, SiteAgg, TimeSeries};
+
+fn event_json(e: &Event, site_names: &[String]) -> JsonObj {
+    let site = site_names
+        .get(e.site as usize)
+        .map(|s| s.as_str())
+        .unwrap_or("?");
+    let ts_us = e.ts_ns as f64 / 1e3;
+    let mut o = JsonObj::new();
+    match e.kind {
+        EventKind::OpSpan => {
+            let name = obs::OP_LABELS.get(e.len as usize).copied().unwrap_or("op");
+            o.str("name", name)
+                .str("cat", "op")
+                .str("ph", "X")
+                .f64("ts", ts_us)
+                .f64("dur", e.dur_ns as f64 / 1e3)
+                .u64("pid", 0)
+                .u64("tid", e.thread as u64);
+            let mut args = JsonObj::new();
+            args.str("site", site);
+            o.obj("args", args);
+        }
+        kind => {
+            o.str("name", kind.label())
+                .str("cat", "pm")
+                .str("ph", "i")
+                .str("s", "t")
+                .f64("ts", ts_us)
+                .u64("pid", 0)
+                .u64("tid", e.thread as u64);
+            let mut args = JsonObj::new();
+            args.str("site", site)
+                .u64("off", e.off)
+                .u64("len", e.len as u64)
+                .u64("media_bytes", e.media_bytes as u64);
+            o.obj("args", args);
+        }
+    }
+    o
+}
+
+/// Render the event tail as a Chrome-trace JSON document (loadable in
+/// `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)).
+pub fn chrome_trace_json(events: &[Event], site_names: &[String]) -> String {
+    let mut arr = JsonArr::new();
+    for e in events {
+        arr.push_obj(event_json(e, site_names));
+    }
+    let mut doc = JsonObj::new();
+    doc.arr("traceEvents", arr).str("displayTimeUnit", "ns");
+    doc.finish()
+}
+
+/// Render a sampled [`TimeSeries`] as CSV: one row per interval with
+/// both raw deltas and the derived rates the figures plot.
+pub fn timeseries_csv(ts: &TimeSeries) -> String {
+    let mut t = Table::new(vec![
+        "t_ms",
+        "dt_ms",
+        "ops",
+        "mops",
+        "media_read_bytes",
+        "media_write_bytes",
+        "read_gibps",
+        "write_gibps",
+        "write_amplification",
+        "clwb",
+        "ntstore",
+        "fence",
+        "fence_per_s",
+    ]);
+    for p in &ts.points {
+        t.row(vec![
+            p.t_ms.to_string(),
+            p.dt_ms.to_string(),
+            p.ops.to_string(),
+            format!("{:.4}", p.mops()),
+            p.media_read_bytes.to_string(),
+            p.media_write_bytes.to_string(),
+            format!("{:.4}", p.read_gibps()),
+            format!("{:.4}", p.write_gibps()),
+            format!("{:.3}", p.write_amplification()),
+            p.clwb.to_string(),
+            p.ntstore.to_string(),
+            p.fence.to_string(),
+            format!("{:.0}", p.fence_rate()),
+        ]);
+    }
+    t.to_csv()
+}
+
+/// Per-site attribution table. `share%` is each site's fraction of all
+/// media write bytes in `sites`; rows arrive media-write-heavy first
+/// (the order [`obs::site_table`] produces). Zero-traffic sites are
+/// dropped.
+pub fn site_table(sites: &[SiteAgg]) -> Table {
+    let total_wr: u64 = sites.iter().map(|s| s.media_write_bytes).sum();
+    let mut t = Table::new(vec![
+        "site",
+        "events",
+        "clwb",
+        "redundant",
+        "ntstore",
+        "fence",
+        "media_read",
+        "media_write",
+        "share%",
+    ]);
+    for s in sites {
+        if s.events == 0 {
+            continue;
+        }
+        let share = if total_wr == 0 {
+            0.0
+        } else {
+            100.0 * s.media_write_bytes as f64 / total_wr as f64
+        };
+        t.row(vec![
+            s.name.clone(),
+            s.events.to_string(),
+            s.clwb.to_string(),
+            s.clwb_redundant.to_string(),
+            s.ntstore.to_string(),
+            s.fence.to_string(),
+            fmt_bytes(s.media_read_bytes),
+            fmt_bytes(s.media_write_bytes),
+            format!("{share:.1}"),
+        ]);
+    }
+    t
+}
+
+/// The site table as JSON rows with raw byte counts (for result files).
+pub fn site_table_json(sites: &[SiteAgg]) -> String {
+    let total_wr: u64 = sites.iter().map(|s| s.media_write_bytes).sum();
+    let mut arr = JsonArr::new();
+    for s in sites {
+        if s.events == 0 {
+            continue;
+        }
+        let mut o = JsonObj::new();
+        o.str("site", &s.name)
+            .u64("events", s.events)
+            .u64("read_bytes", s.read_bytes)
+            .u64("write_bytes", s.write_bytes)
+            .u64("media_read_bytes", s.media_read_bytes)
+            .u64("media_write_bytes", s.media_write_bytes)
+            .u64("clwb", s.clwb)
+            .u64("clwb_redundant", s.clwb_redundant)
+            .u64("ntstore", s.ntstore)
+            .u64("fence", s.fence)
+            .f64(
+                "media_write_share",
+                if total_wr == 0 {
+                    0.0
+                } else {
+                    s.media_write_bytes as f64 / total_wr as f64
+                },
+            );
+        arr.push_obj(o);
+    }
+    arr.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind) -> Event {
+        Event {
+            ts_ns: 1_500,
+            thread: 0,
+            site: 1,
+            kind,
+            off: 4096,
+            len: 64,
+            media_bytes: 256,
+            dur_ns: 0,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let names = vec!["other".to_string(), "leaf_split".to_string()];
+        let span = Event {
+            kind: EventKind::OpSpan,
+            len: 1, // insert
+            dur_ns: 2_000,
+            ..ev(EventKind::OpSpan)
+        };
+        let json = chrome_trace_json(&[ev(EventKind::Clwb), span], &names);
+        assert!(json.starts_with(r#"{"traceEvents":["#), "{json}");
+        assert!(json.contains(r#""name":"clwb""#));
+        assert!(json.contains(r#""ph":"i""#));
+        assert!(json.contains(r#""site":"leaf_split""#));
+        assert!(json.contains(r#""name":"insert""#));
+        assert!(json.contains(r#""ph":"X""#));
+        assert!(json.contains(r#""dur":2"#));
+        assert!(json.ends_with(r#""displayTimeUnit":"ns"}"#));
+    }
+
+    #[test]
+    fn timeseries_csv_has_header_and_rows() {
+        let ts = TimeSeries {
+            interval_ms: 100,
+            points: vec![obs::SamplePoint {
+                t_ms: 100,
+                dt_ms: 100,
+                ops: 50_000,
+                media_write_bytes: 1 << 20,
+                clwb: 10,
+                fence: 10,
+                ..Default::default()
+            }],
+        };
+        let csv = timeseries_csv(&ts);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("t_ms,dt_ms,ops,mops"));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("100,100,50000,0.5000"), "{row}");
+    }
+
+    #[test]
+    fn site_table_shares_sum_to_100() {
+        let sites = vec![
+            SiteAgg {
+                name: "leaf_split".into(),
+                events: 10,
+                media_write_bytes: 3 << 10,
+                ..Default::default()
+            },
+            SiteAgg {
+                name: "other".into(),
+                events: 5,
+                media_write_bytes: 1 << 10,
+                ..Default::default()
+            },
+            SiteAgg {
+                name: "silent".into(),
+                ..Default::default()
+            },
+        ];
+        let t = site_table(&sites);
+        let text = t.to_text();
+        assert!(text.contains("leaf_split"));
+        assert!(text.contains("75.0"));
+        assert!(text.contains("25.0"));
+        assert!(!text.contains("silent"));
+        let json = site_table_json(&sites);
+        assert!(json.contains(r#""media_write_share":0.75"#));
+        assert!(!json.contains("silent"));
+    }
+}

@@ -419,6 +419,9 @@ pub struct BoundaryFailure {
     pub report: Option<CrashReport>,
     /// Human-readable description of the violation.
     pub detail: String,
+    /// The `obs` flight-recorder tail captured at the trip instant (the
+    /// last PM events before power was cut), when tracing was enabled.
+    pub flight_tail: Option<String>,
 }
 
 /// Outcome of a full sweep over one index configuration.
@@ -462,6 +465,9 @@ pub struct ExploreSummary {
     pub poison_reported: u64,
     /// Oracle violations (empty = the index survived every window).
     pub failures: Vec<BoundaryFailure>,
+    /// Flight-recorder tail of the first fired crash (tracing only):
+    /// demonstrates what the recorder would pin down on a violation.
+    pub first_crash_flight_tail: Option<String>,
 }
 
 impl ExploreSummary {
@@ -662,6 +668,7 @@ fn armed_run(
 #[derive(Debug, Default)]
 pub(crate) struct BoundaryOutcome {
     pub report: Option<CrashReport>,
+    pub flight_tail: Option<String>,
     pub candidates: u64,
     pub samples_run: u64,
     pub exhaustive: bool,
@@ -688,6 +695,7 @@ pub(crate) fn run_sample(
     boundary: u64,
     policy: ResidualPolicy,
     report: Option<CrashReport>,
+    flight_tail: Option<&str>,
 ) {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         try_recover_stack(kind, pool.clone()).map(|idx| verify_recovered(&*idx, model, inflight))
@@ -728,6 +736,7 @@ pub(crate) fn run_sample(
         poisoned_off,
         report,
         detail,
+        flight_tail: flight_tail.map(str::to_string),
     });
 }
 
@@ -777,6 +786,9 @@ fn explore_boundary(opts: &ExploreOptions, ops: &[WorkloadOp], boundary: u64) ->
     let (env, model, inflight) = armed_run(opts, ops, boundary);
     let Env { pool, idx } = env;
     let report = pool.crash_report();
+    // Snapshot the flight recorder at the trip instant, before the
+    // recovery attempts below overwrite the ring with their own events.
+    let flight_tail = (obs::enabled() && report.is_some()).then(|| obs::flight_tail_text(16));
     // Capture the crash image before any front-end destructor runs:
     // the candidate set was frozen at the trip instant, the persisted
     // image is immune to post-crash writes.
@@ -786,6 +798,7 @@ fn explore_boundary(opts: &ExploreOptions, ops: &[WorkloadOp], boundary: u64) ->
 
     let mut out = BoundaryOutcome {
         report,
+        flight_tail,
         candidates: candidates.len() as u64,
         ..BoundaryOutcome::default()
     };
@@ -812,6 +825,7 @@ fn explore_boundary(opts: &ExploreOptions, ops: &[WorkloadOp], boundary: u64) ->
         if poisoned_off.is_some() {
             out.poison_injected += 1;
         }
+        let tail = out.flight_tail.clone();
         run_sample(
             &opts.kind,
             &pool,
@@ -822,6 +836,7 @@ fn explore_boundary(opts: &ExploreOptions, ops: &[WorkloadOp], boundary: u64) ->
             boundary,
             policy,
             report,
+            tail.as_deref(),
         );
     }
     out
@@ -857,6 +872,7 @@ pub fn explore(opts: &ExploreOptions) -> ExploreSummary {
         poison_injected: 0,
         poison_reported: 0,
         failures: Vec::new(),
+        first_crash_flight_tail: None,
     };
 
     let stride = opts.stride.max(1);
@@ -882,6 +898,9 @@ pub fn explore(opts: &ExploreOptions) -> ExploreSummary {
                 summary.max_dirty_words = summary.max_dirty_words.max(r.dirty_words);
             }
             None => summary.completed_runs += 1,
+        }
+        if summary.first_crash_flight_tail.is_none() {
+            summary.first_crash_flight_tail = outcome.flight_tail.clone();
         }
         summary.samples_run += outcome.samples_run;
         summary.exhaustive_boundaries += outcome.exhaustive as u64;

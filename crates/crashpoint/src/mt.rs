@@ -200,6 +200,9 @@ fn run_boundary(opts: &MtOptions, boundary: u64) -> (BoundaryOutcome, u64) {
             .collect()
     });
     let report: Option<CrashReport> = pool.crash_report();
+    // Snapshot the merged flight recorder at the trip instant, before
+    // recovery traffic overwrites the per-thread rings.
+    let flight_tail = (obs::enabled() && report.is_some()).then(|| obs::flight_tail_text(16));
     if report.is_none() {
         pool.disarm_crash();
     }
@@ -214,6 +217,7 @@ fn run_boundary(opts: &MtOptions, boundary: u64) -> (BoundaryOutcome, u64) {
     let mut inflight: Vec<InflightAllowance> = Vec::new();
     let mut out = BoundaryOutcome {
         report,
+        flight_tail,
         candidates: candidates.len() as u64,
         ..BoundaryOutcome::default()
     };
@@ -229,6 +233,7 @@ fn run_boundary(opts: &MtOptions, boundary: u64) -> (BoundaryOutcome, u64) {
                 poisoned_off: None,
                 report,
                 detail: format!("thread {tid}: {bug}"),
+                flight_tail: out.flight_tail.clone(),
             });
         }
     }
@@ -252,6 +257,7 @@ fn run_boundary(opts: &MtOptions, boundary: u64) -> (BoundaryOutcome, u64) {
         if poisoned_off.is_some() {
             out.poison_injected += 1;
         }
+        let tail = out.flight_tail.clone();
         run_sample(
             &opts.kind,
             &pool,
@@ -262,6 +268,7 @@ fn run_boundary(opts: &MtOptions, boundary: u64) -> (BoundaryOutcome, u64) {
             boundary,
             policy,
             report,
+            tail.as_deref(),
         );
     }
     (out, threads_cut)

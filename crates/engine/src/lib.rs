@@ -112,6 +112,7 @@ impl ShardedIndex {
         F: Fn(usize, Arc<PmPool>) -> Result<(Arc<dyn RangeIndex>, Arc<PmAllocator>), MediaError>
             + Sync,
     {
+        let _site = obs::site("engine_recovery");
         assert!(!pools.is_empty(), "ShardedIndex needs at least one shard");
         let recovered: Result<Vec<_>, MediaError> = if parallel && pools.len() > 1 {
             std::thread::scope(|s| {
@@ -221,6 +222,7 @@ impl RangeIndex for ShardedIndex {
     }
 
     fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) -> usize {
+        let _site = obs::site("engine_scan_merge");
         out.clear();
         if count == 0 {
             return 0;

@@ -274,6 +274,7 @@ impl FpTree {
     /// Split a full, locked leaf. Runs inside the HTM write transaction.
     /// Returns `(separator, new_leaf)`; the new leaf is created locked.
     fn split_leaf_locked(&self, old: u64) -> (Key, u64) {
+        let _site = obs::site("fptree_leaf_split");
         let pool = self.pool();
         let l = &self.layout;
         // Gather and sort live records.
@@ -340,6 +341,7 @@ impl FpTree {
     /// Insert `(key, right)` into the inner structure, splitting inner
     /// nodes / growing the root as needed. Runs inside the write txn.
     fn insert_separator(&self, key: Key, right: u64) {
+        let _site = obs::site("fptree_inner_insert");
         // Collect the inner path to the leaf that covered `key`.
         let mut path: Vec<&Inner> = Vec::new();
         let mut w = self.root.load(Ordering::Acquire);
@@ -447,6 +449,7 @@ impl FpTree {
     /// (bulk loading). Also clears leaf version locks left over from
     /// the crash.
     fn rebuild_from_leaves(&self) -> Result<(), MediaError> {
+        let _site = obs::site("fptree_recovery");
         let pool = self.pool();
         let l = &self.layout;
         let head = pool.read_u64(slot_off(SLOT_HEAD));
@@ -503,6 +506,7 @@ impl FpTree {
 
 impl RangeIndex for FpTree {
     fn insert(&self, key: Key, value: Value) -> bool {
+        let _site = obs::site("fptree_insert");
         let (leaf, _) = self.locate_and_lock(key);
         if self.find_in_leaf(leaf, key).is_some() {
             self.leaf_unlock(leaf);
@@ -529,6 +533,7 @@ impl RangeIndex for FpTree {
     }
 
     fn lookup(&self, key: Key) -> Option<Value> {
+        let _site = obs::site("fptree_lookup");
         self.htm.speculative_read(|_| {
             let leaf = self.traverse(key)?;
             let v1 = self.pool().load_u64(leaf + VLOCK_OFF, Ordering::Acquire);
@@ -544,6 +549,7 @@ impl RangeIndex for FpTree {
     }
 
     fn update(&self, key: Key, value: Value) -> bool {
+        let _site = obs::site("fptree_update");
         loop {
             let (leaf, _) = self.locate_and_lock(key);
             let Some((slot, _)) = self.find_in_leaf(leaf, key) else {
@@ -573,6 +579,7 @@ impl RangeIndex for FpTree {
     }
 
     fn remove(&self, key: Key) -> bool {
+        let _site = obs::site("fptree_remove");
         let (leaf, _) = self.locate_and_lock(key);
         let Some((slot, _)) = self.find_in_leaf(leaf, key) else {
             self.leaf_unlock(leaf);
@@ -586,6 +593,7 @@ impl RangeIndex for FpTree {
     }
 
     fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) -> usize {
+        let _site = obs::site("fptree_scan");
         out.clear();
         if count == 0 {
             return 0;

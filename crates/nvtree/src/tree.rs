@@ -72,6 +72,7 @@ impl NvTree {
     /// not persist). Panics on a media error; use
     /// [`NvTree::try_recover`] to handle poisoned lines gracefully.
     pub fn recover(alloc: Arc<PmAllocator>, cfg: NvTreeConfig) -> Arc<NvTree> {
+        let _site = obs::site("nvtree_recovery");
         Self::try_recover(alloc, cfg).unwrap_or_else(|e| panic!("NV-Tree recovery failed: {e}"))
     }
 
@@ -235,6 +236,7 @@ impl NvTree {
     /// persistence order: entry + flag first, count-increment commit
     /// second.
     fn append(&self, leaf: u64, key: Key, value: Value, live: bool) {
+        let _site = obs::site("nvtree_log_append");
         let pool = self.pool();
         let slot = self.leaf_count(leaf);
         debug_assert!(slot < self.cfg.leaf_entries);
@@ -282,6 +284,7 @@ impl NvTree {
     /// folding in `pending`. Runs inside the SMO write transaction.
     /// The old leaf is freed after a grace period.
     fn replace_split(&self, old: u64, op_key: Key, pending: Pending, guard: &epoch::Guard) {
+        let _site = obs::site("nvtree_leaf_replace");
         let pool = self.pool();
         let mut live = self.live_records(old);
         match pending {
@@ -394,6 +397,11 @@ impl NvTree {
 
     /// Shared implementation of the three write paths.
     fn write_op(&self, key: Key, value: Value, kind: WriteKind) -> bool {
+        let _site = obs::site(match kind {
+            WriteKind::Insert => "nvtree_insert",
+            WriteKind::Update => "nvtree_update",
+            WriteKind::Remove => "nvtree_remove",
+        });
         let guard = epoch::pin();
         {
             let leaf = self.locate_and_lock(key, &guard);
@@ -440,6 +448,7 @@ impl RangeIndex for NvTree {
     }
 
     fn lookup(&self, key: Key) -> Option<Value> {
+        let _site = obs::site("nvtree_lookup");
         let guard = epoch::pin();
         self.smo.speculative_read(|_| {
             let leaf = self.route(key, &guard)?;
@@ -464,6 +473,7 @@ impl RangeIndex for NvTree {
     }
 
     fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) -> usize {
+        let _site = obs::site("nvtree_scan");
         out.clear();
         if count == 0 {
             return 0;

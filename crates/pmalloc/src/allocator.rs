@@ -423,6 +423,7 @@ impl PmAllocator {
     /// *caller* is responsible for making it reachable before a crash,
     /// or it will leak (see [`PmAllocator::alloc_linked`]).
     pub fn alloc(&self, size: usize) -> Result<u64, AllocError> {
+        let _site = obs::site("pmalloc_alloc");
         let class = class_for_size(size).ok_or(AllocError::TooLarge(size))?;
         self.allocs.fetch_add(1, Ordering::Relaxed);
         let off = match self.mode {
@@ -430,7 +431,11 @@ impl PmAllocator {
             AllocMode::Striped => {
                 let stripe = stripe_of_thread();
                 let mag = &self.magazines[stripe * NUM_CLASSES + class];
-                match mag.lock().pop() {
+                // Bind the pop so the guard drops here: `match
+                // mag.lock().pop()` would keep the magazine locked
+                // through the refill arm, which locks it again.
+                let popped = mag.lock().pop();
+                match popped {
                     Some(off) => off,
                     None => {
                         // Refill: move a batch into the magazine, return one.
@@ -471,6 +476,7 @@ impl PmAllocator {
     /// point either completes the publication or frees the block on
     /// recovery — no leak, no dangling pointer.
     pub fn alloc_linked(&self, size: usize, dest: u64) -> Result<u64, AllocError> {
+        let _site = obs::site("pmalloc_alloc_linked");
         let stripe = stripe_of_thread();
         let _guard = self.inflight_locks[stripe].lock();
         let slot = Self::inflight_off_static(stripe as u64);
@@ -496,6 +502,7 @@ impl PmAllocator {
     /// `dest`: after recovery, either `dest` still holds the block and
     /// it remains allocated, or `dest` is zero and the block is free.
     pub fn free_linked(&self, dest: u64) {
+        let _site = obs::site("pmalloc_free_linked");
         let stripe = stripe_of_thread();
         let _guard = self.inflight_locks[stripe].lock();
         let block = self.pool.read_u64(dest);
@@ -514,6 +521,7 @@ impl PmAllocator {
 
     /// Return a block to the allocator.
     pub fn free(&self, off: u64) {
+        let _site = obs::site("pmalloc_free");
         self.frees.fetch_add(1, Ordering::Relaxed);
         match self.mode {
             AllocMode::General => self.clear_bit_persist(off),

@@ -231,6 +231,7 @@ impl PmPool {
             cache.set(c);
         });
         self.stats.count_read(len as u64, missed);
+        obs::pm_read(off, len, missed * MEDIA_BLOCK as u64);
         if missed > 0 {
             self.cfg.latency.charge_read(missed, sequential);
         }
@@ -255,6 +256,7 @@ impl PmPool {
             cache.set(c);
         });
         self.stats.count_write(len as u64);
+        obs::pm_write(off, len);
         self.mark_dirty(off, len);
     }
 
@@ -297,6 +299,20 @@ impl PmPool {
         let w0 = line_off / 8;
         let shift = w0 % 64;
         self.dirty[(w0 / 64) as usize].load(Ordering::Relaxed) & (0xFF << shift)
+    }
+
+    /// Whether any cache line in `[start, end)` (both 64-aligned) has a
+    /// written-but-unflushed word.
+    #[inline]
+    fn range_has_dirty_line(&self, start: u64, end: u64) -> bool {
+        let mut line = start;
+        while line < end {
+            if self.line_dirty_bits(line) != 0 {
+                return true;
+            }
+            line += CACHELINE as u64;
+        }
+        false
     }
 
     /// Written-but-unflushed 8-byte words (durability-audit bitmap
@@ -1015,6 +1031,18 @@ impl PmPool {
             return;
         }
         self.stats.count_clwb();
+        if obs::enabled() {
+            // Trace before the persistence event so an injected crash
+            // still leaves this flush in the flight-recorder tail.
+            let start = off & !(CACHELINE as u64 - 1);
+            let end = crate::align_up(off + len as u64, CACHELINE as u64).min(self.len as u64);
+            let media = if self.cfg.persistence == PersistenceMode::Elided {
+                0
+            } else {
+                Self::blocks_in(start, (end - start) as usize) * MEDIA_BLOCK as u64
+            };
+            obs::pm_clwb(off, len, media, !self.range_has_dirty_line(start, end));
+        }
         if self.persistence_event(PersistEventKind::Clwb) {
             return; // injected crash fired earlier: persisted image frozen
         }
@@ -1025,16 +1053,7 @@ impl PmPool {
         let end = crate::align_up(off + len as u64, CACHELINE as u64).min(self.len as u64);
         // Durability audit: a write-back whose lines are all already
         // clean did no useful work (pmemcheck's "redundant flush").
-        let mut any_dirty = false;
-        let mut line = start;
-        while line < end {
-            if self.line_dirty_bits(line) != 0 {
-                any_dirty = true;
-                break;
-            }
-            line += CACHELINE as u64;
-        }
-        if !any_dirty {
+        if !self.range_has_dirty_line(start, end) {
             self.stats.count_clwb_redundant();
         }
         let mut o = start;
@@ -1059,6 +1078,14 @@ impl PmPool {
     /// eagerly here).
     pub fn ntstore_u64(&self, off: u64, v: u64) {
         self.stats.count_ntstore();
+        obs::pm_ntstore(
+            off,
+            if self.cfg.persistence == PersistenceMode::Real {
+                MEDIA_BLOCK as u64
+            } else {
+                0
+            },
+        );
         // Trip before the store: at a power cut the instruction never
         // retired, so neither image sees the value.
         let frozen = self.persistence_event(PersistEventKind::Ntstore);
@@ -1080,6 +1107,7 @@ impl PmPool {
     #[inline]
     pub fn sfence(&self) {
         self.stats.count_fence();
+        obs::pm_fence();
         self.persistence_event(PersistEventKind::Sfence);
         std::sync::atomic::fence(Ordering::SeqCst);
     }

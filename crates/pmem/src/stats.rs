@@ -316,6 +316,77 @@ mod tests {
         );
     }
 
+    mod algebra {
+        //! `PmStatsSnapshot` forms a commutative monoid under `merge`
+        //! with `default()` as identity, and `since` is its counter-wise
+        //! inverse. Sharded aggregation and the time-series sampler both
+        //! lean on these laws, so pin them down with property tests.
+
+        use super::*;
+        use proptest::collection::vec;
+        use proptest::prelude::*;
+
+        /// Arbitrary snapshot with counters bounded so that merging a
+        /// handful can never overflow `u64` (merge uses plain `+=`).
+        fn arb_snapshot() -> impl Strategy<Value = PmStatsSnapshot> {
+            vec(any::<u32>(), 10..11).prop_map(|v| PmStatsSnapshot {
+                read_ops: v[0] as u64,
+                read_bytes: v[1] as u64,
+                write_ops: v[2] as u64,
+                write_bytes: v[3] as u64,
+                media_read_bytes: v[4] as u64,
+                media_write_bytes: v[5] as u64,
+                clwb: v[6] as u64,
+                clwb_redundant: v[7] as u64,
+                ntstore: v[8] as u64,
+                fence: v[9] as u64,
+            })
+        }
+
+        fn plus(a: &PmStatsSnapshot, b: &PmStatsSnapshot) -> PmStatsSnapshot {
+            let mut m = *a;
+            m.merge(b);
+            m
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+            #[test]
+            fn merge_is_commutative(a in arb_snapshot(), b in arb_snapshot()) {
+                prop_assert_eq!(plus(&a, &b), plus(&b, &a));
+            }
+
+            #[test]
+            fn merge_is_associative(
+                a in arb_snapshot(),
+                b in arb_snapshot(),
+                c in arb_snapshot(),
+            ) {
+                prop_assert_eq!(plus(&plus(&a, &b), &c), plus(&a, &plus(&b, &c)));
+            }
+
+            #[test]
+            fn default_is_merge_identity(a in arb_snapshot()) {
+                let id = PmStatsSnapshot::default();
+                prop_assert_eq!(plus(&a, &id), a);
+                prop_assert_eq!(plus(&id, &a), a);
+            }
+
+            #[test]
+            fn since_inverts_merge(a in arb_snapshot(), b in arb_snapshot()) {
+                // (a ⊕ b).since(a) == b, counter-wise.
+                prop_assert_eq!(plus(&a, &b).since(&a), b);
+                prop_assert_eq!(a.since(&a), PmStatsSnapshot::default());
+                // since never underflows even when "earlier" is larger.
+                prop_assert_eq!(
+                    PmStatsSnapshot::default().since(&a),
+                    PmStatsSnapshot::default()
+                );
+            }
+        }
+    }
+
     #[test]
     fn counting_from_many_threads_is_complete() {
         let st = std::sync::Arc::new(PmStats::new());

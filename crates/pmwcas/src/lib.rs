@@ -195,6 +195,7 @@ impl PmwCas {
     /// Every word named here must be managed exclusively through
     /// [`PmwCas::mwcas`] / [`PmwCas::read`].
     pub fn mwcas(&self, entries: &[WordDescriptor]) -> bool {
+        let _site = obs::site("pmwcas_mwcas");
         assert!(!entries.is_empty() && entries.len() <= MAX_WORDS);
         debug_assert!(entries
             .iter()

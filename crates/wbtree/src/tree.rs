@@ -64,6 +64,7 @@ impl Core {
     /// Split `off` into itself + a new right sibling. Returns
     /// `(separator, new_node)`.
     fn split_node(&self, off: u64) -> (Key, u64) {
+        let _site = obs::site("wbtree_node_split");
         let n = self.node(off);
         let entries = n.sorted_entries();
         let mid = entries.len() / 2;
@@ -263,6 +264,7 @@ impl WbTree {
     /// media error; use [`WbTree::try_recover`] to handle poisoned
     /// lines gracefully.
     pub fn recover(alloc: Arc<PmAllocator>, cfg: WbTreeConfig) -> Arc<WbTree> {
+        let _site = obs::site("wbtree_recovery");
         Self::try_recover(alloc, cfg).unwrap_or_else(|e| panic!("wB+Tree recovery failed: {e}"))
     }
 
@@ -372,22 +374,27 @@ impl WbTree {
 
 impl RangeIndex for WbTree {
     fn insert(&self, key: Key, value: Value) -> bool {
+        let _site = obs::site("wbtree_insert");
         self.core.lock().insert(key, value)
     }
 
     fn lookup(&self, key: Key) -> Option<Value> {
+        let _site = obs::site("wbtree_lookup");
         self.core.lock().lookup(key)
     }
 
     fn update(&self, key: Key, value: Value) -> bool {
+        let _site = obs::site("wbtree_update");
         self.core.lock().update(key, value)
     }
 
     fn remove(&self, key: Key) -> bool {
+        let _site = obs::site("wbtree_remove");
         self.core.lock().remove(key)
     }
 
     fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) -> usize {
+        let _site = obs::site("wbtree_scan");
         self.core.lock().scan(start, count, out)
     }
 

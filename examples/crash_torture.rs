@@ -250,9 +250,14 @@ fn main() {
         .unwrap_or(0u64);
 
     install_quiet_crash_hook();
+    // Flight recorder: keep the last PM events of every round so an
+    // oracle violation can show what the index did right before (and
+    // after) the cut, alongside the reproduce line.
+    pm_index_bench::obs::set_enabled(true);
     for kind in &kinds {
         for round in 0..rounds {
             let round_seed = base_seed.wrapping_add(round);
+            pm_index_bench::obs::reset();
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| torture(kind, round_seed))) {
                 let msg = payload
                     .downcast_ref::<String>()
@@ -260,6 +265,10 @@ fn main() {
                     .or_else(|| payload.downcast_ref::<&str>().copied())
                     .unwrap_or("non-string panic payload");
                 eprintln!("{kind}: round {round} FAILED: {msg}");
+                eprintln!("flight recorder (last PM events of the failing round):");
+                for line in pm_index_bench::obs::flight_tail_text(16).lines() {
+                    eprintln!("    {line}");
+                }
                 eprintln!(
                     "REPRODUCE: cargo run --release --example crash_torture -- 1 \
                      --kind {kind} --seed {round_seed}"

@@ -31,7 +31,10 @@
 //!
 //! `crashpoints` flags: `--kind <name|all>`, `--ops N`, `--key-range N`,
 //! `--seed N`, `--chaos`, `--stride N`, `--max-boundaries N`,
-//! `--samples N`, `--p-per-256 N`, `--exhaustive LINES`, `--poison`.
+//! `--samples N`, `--p-per-256 N`, `--exhaustive LINES`, `--poison`,
+//! `--trace` (arm the `obs` flight recorder: every fired crash
+//! snapshots the last PM events before the cut, printed on any oracle
+//! violation and once per kind for the first crash).
 //!
 //! `mtcrash` flags: `--kind <name|all>`, `--threads N`, `--ops N` (per
 //! thread), `--boundaries N`, `--seed N`, `--samples N`, `--p-per-256 N`,
@@ -196,8 +199,17 @@ fn crashpoints(args: &[String]) {
     let max_boundaries = flag_value(args, "--max-boundaries");
     let chaos = args.iter().any(|a| a == "--chaos");
     let poison = args.iter().any(|a| a == "--poison");
+    let trace = args.iter().any(|a| a == "--trace");
     let residual = parse_residual(args, poison);
-    println!("crashpoints: seed {seed}, residual model {residual:?}, poison {poison}");
+    if trace {
+        // Flight recorder on: every crash snapshots the last PM events
+        // before the cut, and any oracle violation prints that tail.
+        pm_index_bench::obs::reset();
+        pm_index_bench::obs::set_enabled(true);
+    }
+    println!(
+        "crashpoints: seed {seed}, residual model {residual:?}, poison {poison}, trace {trace}"
+    );
 
     let mut table = Table::new(vec![
         "index",
@@ -252,6 +264,23 @@ fn crashpoints(args: &[String]) {
                     .unwrap_or_default(),
                 f.detail
             );
+            if let Some(tail) = &f.flight_tail {
+                println!("  flight recorder (last PM events before the cut):");
+                for line in tail.lines() {
+                    println!("    {line}");
+                }
+            }
+        }
+        if trace {
+            match &s.first_crash_flight_tail {
+                Some(tail) => {
+                    println!("{kind}: flight recorder at the first fired crash:");
+                    for line in tail.lines() {
+                        println!("    {line}");
+                    }
+                }
+                None => println!("{kind}: no crash fired, flight recorder empty"),
+            }
         }
         table.row(vec![
             s.kind.clone(),

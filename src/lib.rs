@@ -11,6 +11,8 @@
 //! - [`index_api`]: the common range-index interface,
 //! - the four evaluated indexes: [`fptree`], [`nvtree`], [`wbtree`],
 //!   [`bztree`], plus the volatile [`dram_index`] baseline,
+//! - [`obs`]: low-overhead PM event tracing, time-series sampling, and
+//!   per-site traffic attribution,
 //! - [`pibench`]: the benchmarking framework,
 //! - [`crashpoint`]: systematic crash-point exploration — deterministic
 //!   power failure at every persistence-event boundary, with recovery
@@ -51,6 +53,7 @@ pub use fptree;
 pub use htm;
 pub use index_api;
 pub use nvtree;
+pub use obs;
 pub use pibench;
 pub use pmalloc;
 pub use pmem;

@@ -1,0 +1,134 @@
+//! End-to-end observability tests: the `obs` tracing layer driven
+//! through the real stack (PiBench harness, index sites, crash-point
+//! explorer).
+
+mod common;
+
+use std::sync::Mutex;
+
+use common::fresh;
+use pm_index_bench::crashpoint::{self, ExploreOptions};
+use pm_index_bench::obs;
+use pm_index_bench::pibench::{
+    prefill, run, trace, BenchConfig, Distribution, KeySpace, OpKind, OpMix,
+};
+use pm_index_bench::pmem::PmConfig;
+
+/// `obs` is process-global state (one enabled flag, one site interner,
+/// shared rings); tests that flip it must not interleave.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn insert_cfg(records: u64, ops: u64) -> BenchConfig {
+    BenchConfig {
+        threads: 2,
+        records,
+        ops_per_thread: Some(ops / 2),
+        duration: None,
+        mix: OpMix::pure(OpKind::Insert),
+        distribution: Distribution::Uniform,
+        scan_len: 25,
+        latency_sample_shift: 2,
+        seed: 7,
+        negative_lookups: false,
+    }
+}
+
+#[test]
+fn insert_media_writes_are_fully_attributed() {
+    let _g = lock();
+    let (idx, pool) = fresh("fptree", 64, PmConfig::real());
+    let pool = pool.unwrap();
+    let ks = KeySpace::new(5_000);
+    prefill(&*idx, &ks, 2);
+
+    obs::reset();
+    obs::set_enabled(true);
+    // `run` resets the pool counters at the start of the measured
+    // phase, so `r.pm` is the device-truth media delta of the run.
+    let r = run(
+        &*idx,
+        &ks,
+        std::slice::from_ref(&pool),
+        &insert_cfg(5_000, 5_000),
+    );
+    obs::set_enabled(false);
+    let delta = &r.pm;
+    assert!(r.total_ops() > 0);
+
+    // Every media write byte the device saw must land in the site
+    // table, and >= 95% must be attributed to *named* sites (not the
+    // "other" catch-all) — the acceptance bar for the annotations.
+    let sites = obs::site_table();
+    let attributed: u64 = sites.iter().map(|s| s.media_write_bytes).sum();
+    assert_eq!(
+        attributed, delta.media_write_bytes,
+        "site table must account for all media write bytes"
+    );
+    let named: u64 = sites
+        .iter()
+        .filter(|s| s.name != obs::SITE_OTHER)
+        .map(|s| s.media_write_bytes)
+        .sum();
+    assert!(
+        named as f64 >= 0.95 * delta.media_write_bytes as f64,
+        "named sites cover {named} of {} media write bytes",
+        delta.media_write_bytes
+    );
+    assert!(
+        sites
+            .iter()
+            .any(|s| s.name == "fptree_insert" && s.media_write_bytes > 0),
+        "insert traffic must surface under the fptree_insert site"
+    );
+
+    // The flight recorder holds events and they export as a loadable
+    // Chrome-trace document with both op spans and PM instants.
+    let events = obs::flight_events(usize::MAX);
+    assert!(!events.is_empty());
+    let json = trace::chrome_trace_json(&events, &obs::site_names());
+    assert!(json.starts_with(r#"{"traceEvents":["#));
+    assert!(json.contains(r#""ph":"X""#), "op spans present");
+    assert!(json.contains(r#""ph":"i""#), "pm instants present");
+}
+
+#[test]
+fn injected_crashpoint_run_dumps_flight_tail() {
+    let _g = lock();
+    obs::reset();
+    obs::set_enabled(true);
+    let summary = crashpoint::explore(&ExploreOptions {
+        kind: "wbtree".to_string(),
+        ops: 40,
+        key_range: 24,
+        pool_mib: 16,
+        max_boundaries: Some(3),
+        ..ExploreOptions::default()
+    });
+    obs::set_enabled(false);
+    assert!(summary.crashes_fired > 0, "injection never fired");
+    assert!(summary.is_green(), "{:?}", summary.failures.first());
+    let tail = summary
+        .first_crash_flight_tail
+        .expect("tracing was enabled and a crash fired");
+    assert!(!tail.trim().is_empty(), "flight tail must be non-empty");
+    // The tail pins down concrete PM traffic (offsets), not just labels.
+    assert!(tail.contains("off=0x"), "{tail}");
+}
+
+#[test]
+fn disabled_tracing_records_nothing() {
+    let _g = lock();
+    obs::reset();
+    assert!(!obs::enabled());
+    let (idx, pool) = fresh("fptree", 64, PmConfig::real());
+    let ks = KeySpace::new(2_000);
+    prefill(&*idx, &ks, 2);
+    run(&*idx, &ks, pool.as_slice(), &insert_cfg(2_000, 2_000));
+    assert!(obs::flight_events(usize::MAX).is_empty());
+    assert_eq!(obs::total_ops(), 0);
+    assert!(obs::site_table().iter().all(|s| s.events == 0));
+}
