@@ -1,0 +1,7 @@
+//! Bench target regenerating experiment E18 (see DESIGN.md). Needs the
+//! `pmserve`/`pmload` binaries built (`cargo build --release --bins`);
+//! without them the remote rows degrade to a logged skip.
+fn main() {
+    let ctx = bench::cli::ExpCtx::from_env();
+    print!("{}", bench::exp::e18(&ctx));
+}

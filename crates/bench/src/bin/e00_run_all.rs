@@ -1,8 +1,12 @@
-//! Run every experiment (E1–E17) and write the collected reports to
+//! Run every experiment (E1–E18) and write the collected reports to
 //! `results/experiments.txt` (and stdout), plus one machine-readable
 //! `results/BENCH_E*.json` per experiment so the perf trajectory can be
 //! tracked across commits. Scale via `PIBENCH_*` environment variables
 //! (see the `bench` crate docs) or `--shards N` / `--only eNN` flags.
+//!
+//! Experiments with unmet environment prerequisites (e.g. E18 when the
+//! `pmserve`/`pmload` binaries are not built) are skipped with a logged
+//! reason instead of erroring out mid-sweep.
 
 use std::io::Write;
 
@@ -28,13 +32,19 @@ fn main() {
     }
     let mut all_out = String::new();
     std::fs::create_dir_all("results").expect("create results dir");
-    for (id, f) in bench::exp::all() {
+    for exp in bench::exp::all() {
+        let id = exp.id;
         if only.as_deref().is_some_and(|o| o != id) {
+            continue;
+        }
+        if let Err(reason) = (exp.prereq)(&ctx) {
+            eprintln!(">> skipping {id}: {reason}");
+            all_out.push_str(&format!("== {id} skipped: {reason} ==\n\n"));
             continue;
         }
         eprintln!(">> running {id} …");
         let t0 = std::time::Instant::now();
-        let out = f(&ctx);
+        let out = (exp.f)(&ctx);
         eprintln!("   {id} done in {:.1}s", t0.elapsed().as_secs_f64());
         print!("{out}");
         all_out.push_str(&out.text);

@@ -1,9 +1,10 @@
-//! The experiments (E1–E17), one function per table/figure.
+//! The experiments (E1–E18), one function per table/figure.
 //!
 //! Every function returns the rendered report so the `e00_run_all`
 //! binary can collect them into a results file; bench targets print to
 //! stdout.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use pibench::report::{fmt_bytes, fmt_mops, fmt_ns, JsonObj, Table};
@@ -666,26 +667,342 @@ pub fn e17(ctx: &ExpCtx) -> ExpReport {
     )
 }
 
-/// All experiments in order, with ids and titles (for `e00_run_all`).
-pub fn all() -> Vec<(&'static str, ExpFn)> {
+/// The E18 workload mix, shared by the local baseline and the remote
+/// driver: 60% lookups, 10% each of insert/update/remove/scan — all
+/// five wire op types on every point.
+fn e18_mix() -> OpMix {
+    let m = OpMix {
+        lookup: 60,
+        insert: 10,
+        update: 10,
+        remove: 10,
+        scan: 10,
+    };
+    m.validate();
+    m
+}
+
+/// Locate the `pmserve`/`pmload` binaries: next to the running
+/// executable (workspace bins share `target/<profile>/`) or one
+/// directory up (bench targets run from `target/<profile>/deps/`).
+fn net_bins() -> Result<(PathBuf, PathBuf), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut dir = exe.parent();
+    while let Some(d) = dir {
+        let (s, l) = (d.join("pmserve"), d.join("pmload"));
+        if s.is_file() && l.is_file() {
+            return Ok((s, l));
+        }
+        if d.file_name().is_none() || !d.ends_with("deps") {
+            break;
+        }
+        dir = d.parent();
+    }
+    Err(format!(
+        "pmserve/pmload not built next to {} (run `cargo build --release --bins` first)",
+        exe.display()
+    ))
+}
+
+/// Spawn `pmserve` and wait for its readiness line, returning the child
+/// and the bound address.
+fn spawn_pmserve(
+    serve: &std::path::Path,
+    ctx: &ExpCtx,
+    workers: usize,
+    batch_max: usize,
+) -> Result<(std::process::Child, String), String> {
+    use std::io::{BufRead, BufReader};
+    let mut child = std::process::Command::new(serve)
+        .args([
+            "--index",
+            "fptree",
+            "--shards",
+            &ctx.shards.max(2).to_string(),
+            "--records",
+            &ctx.records.to_string(),
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            &workers.to_string(),
+            "--batch-max",
+            &batch_max.to_string(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", serve.display()))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| format!("read pmserve readiness line: {e}"))?;
+    match line.trim().strip_prefix("pmserve listening on ") {
+        Some(addr) => Ok((child, addr.to_string())),
+        None => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(format!("unexpected pmserve readiness line {line:?}"))
+        }
+    }
+}
+
+/// One parsed `RESULT` line from a `pmload` run.
+struct LoadPoint {
+    mops: f64,
+    p50: u64,
+    p99: u64,
+    p999: u64,
+    acked: u64,
+    errors: u64,
+}
+
+/// Run `pmload` against `addr` and parse its `RESULT` line (the flat
+/// key=value twin of its JSON document, emitted for exactly this kind
+/// of subprocess consumer).
+fn run_pmload(
+    load: &std::path::Path,
+    addr: &str,
+    ctx: &ExpCtx,
+    conns: usize,
+    ops: u64,
+    open_loop_qps: Option<f64>,
+    shutdown: bool,
+) -> Result<LoadPoint, String> {
+    let mut cmd = std::process::Command::new(load);
+    cmd.args([
+        "--addr",
+        addr,
+        "--records",
+        &ctx.records.to_string(),
+        "--ops",
+        &ops.to_string(),
+        "--conns",
+        &conns.to_string(),
+        "--window",
+        "32",
+        "--mix",
+        "60,10,10,10,10",
+    ]);
+    if let Some(qps) = open_loop_qps {
+        cmd.args(["--open-loop-qps", &qps.to_string()]);
+    }
+    if shutdown {
+        cmd.arg("--shutdown");
+    }
+    let out = cmd
+        .stderr(std::process::Stdio::null())
+        .output()
+        .map_err(|e| format!("spawn {}: {e}", load.display()))?;
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .rev()
+        .find(|l| l.starts_with("RESULT "))
+        .ok_or_else(|| format!("no RESULT line in pmload output (status {})", out.status))?;
+    let field = |key: &str| -> Result<f64, String> {
+        line.split_whitespace()
+            .find_map(|kv| kv.strip_prefix(key)?.strip_prefix('=')?.parse().ok())
+            .ok_or_else(|| format!("RESULT line missing {key}: {line}"))
+    };
+    let p = LoadPoint {
+        mops: field("mops")?,
+        p50: field("p50_ns")? as u64,
+        p99: field("p99_ns")? as u64,
+        p999: field("p999_ns")? as u64,
+        acked: field("acked")? as u64,
+        errors: field("errors")? as u64,
+    };
+    if !out.status.success() && p.errors == 0 {
+        return Err(format!("pmload exited with {}: {line}", out.status));
+    }
+    Ok(p)
+}
+
+/// E18 — remote serving layer vs. local direct calls: the same mixed
+/// workload through `pmserve`/`pmload` over loopback TCP (closed-loop
+/// across batch sizes and connection counts, plus one open-loop Poisson
+/// point) against the in-process baseline. The paper benchmarks indexes
+/// behind function calls; this measures what the missing deployment
+/// path — wire codec, group-durability batching, backpressure — costs.
+pub fn e18(ctx: &ExpCtx) -> ExpReport {
+    let mut t = Table::new(vec![
+        "path", "loop", "conns", "batch", "Mops/s", "p50", "p99", "p99.9", "acked", "errors",
+    ]);
+    let mix = e18_mix();
+    let conn_ladder = [1usize, ctx.max_threads.clamp(2, 4)];
+
+    // Local baseline: the identical sharded build driven by direct
+    // in-process calls, one "connection" = one worker thread.
+    for &threads in &conn_ladder {
+        let b = registry::build_sharded("fptree", ctx.shards.max(2), ctx.records, pm_cfg());
+        let ks = KeySpace::new(ctx.records);
+        prefill(&*b.index, &ks, ctx.max_threads);
+        let cfg = ctx.point(threads, mix, Distribution::Uniform);
+        let r = run_point(&b, &ks, &cfg);
+        let mut h = pibench::hist::LatencyHistogram::new();
+        for hh in &r.latency {
+            h.merge(hh);
+        }
+        t.row(vec![
+            "local".to_string(),
+            "closed".to_string(),
+            threads.to_string(),
+            "-".to_string(),
+            fmt_mops(r.mops()),
+            fmt_ns(h.percentile(50.0)),
+            fmt_ns(h.percentile(99.0)),
+            fmt_ns(h.percentile(99.9)),
+            r.total_ops().to_string(),
+            "0".to_string(),
+        ]);
+    }
+
+    // Remote: restart the server per batch size (it is a server-side
+    // knob), sweep connection counts per server, then one open-loop
+    // Poisson point at the largest batch.
+    match net_bins() {
+        Ok((serve, load)) => {
+            let remote_ops = ctx.ops_per_point.clamp(1_000, 100_000);
+            for (bi, batch) in [1usize, 32, 128].into_iter().enumerate() {
+                let point = (|| -> Result<(), String> {
+                    let (mut child, addr) = spawn_pmserve(&serve, ctx, conn_ladder[1], batch)?;
+                    for &conns in &conn_ladder {
+                        let p = run_pmload(&load, &addr, ctx, conns, remote_ops, None, false)?;
+                        t.row(vec![
+                            "remote".to_string(),
+                            "closed".to_string(),
+                            conns.to_string(),
+                            batch.to_string(),
+                            fmt_mops(p.mops),
+                            fmt_ns(p.p50),
+                            fmt_ns(p.p99),
+                            fmt_ns(p.p999),
+                            p.acked.to_string(),
+                            p.errors.to_string(),
+                        ]);
+                    }
+                    if bi == 2 {
+                        // Open loop: Poisson arrivals at a rate the closed
+                        // loop sustains comfortably, so the row reads as
+                        // latency-under-offered-load, not saturation.
+                        let qps = 25_000.0;
+                        let p = run_pmload(
+                            &load,
+                            &addr,
+                            ctx,
+                            conn_ladder[1],
+                            remote_ops.min(50_000),
+                            Some(qps),
+                            false,
+                        )?;
+                        t.row(vec![
+                            "remote".to_string(),
+                            format!("open {qps:.0}qps"),
+                            conn_ladder[1].to_string(),
+                            batch.to_string(),
+                            fmt_mops(p.mops),
+                            fmt_ns(p.p50),
+                            fmt_ns(p.p99),
+                            fmt_ns(p.p999),
+                            p.acked.to_string(),
+                            p.errors.to_string(),
+                        ]);
+                    }
+                    // Graceful drain over the wire, then reap the child.
+                    let _ = run_pmload(&load, &addr, ctx, 1, 1, None, true);
+                    let _ = child.wait();
+                    Ok(())
+                })();
+                if let Err(e) = point {
+                    t.row(vec![
+                        "remote".to_string(),
+                        "closed".to_string(),
+                        "-".to_string(),
+                        batch.to_string(),
+                        format!("FAILED: {e}"),
+                        "-".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                    ]);
+                }
+            }
+        }
+        Err(reason) => {
+            t.row(vec![
+                "remote".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                format!("skipped: {reason}"),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+        }
+    }
+    render(
+        "E18: remote serving layer vs local direct calls (fptree, mixed 60/10/10/10/10)",
+        ctx,
+        &t,
+    )
+}
+
+/// One registered experiment: id, entry point, and an environment
+/// prerequisite. `e00_run_all` calls `prereq` first and skips the
+/// experiment with the returned reason instead of dying mid-sweep.
+pub struct Experiment {
+    /// Short id (`e01` …), also the `BENCH_E*.json` stem.
+    pub id: &'static str,
+    /// The experiment entry point.
+    pub f: ExpFn,
+    /// Environment check; `Err(reason)` ⇒ skip.
+    pub prereq: fn(&ExpCtx) -> Result<(), String>,
+}
+
+fn no_prereq(_: &ExpCtx) -> Result<(), String> {
+    Ok(())
+}
+
+fn e18_prereq(_: &ExpCtx) -> Result<(), String> {
+    net_bins().map(|_| ())
+}
+
+/// All experiments in order, with ids and prerequisites (for
+/// `e00_run_all`).
+pub fn all() -> Vec<Experiment> {
+    let plain = |id, f| Experiment {
+        id,
+        f,
+        prereq: no_prereq,
+    };
     vec![
-        ("e01", e01 as ExpFn),
-        ("e02", e02),
-        ("e03", e03),
-        ("e04", e04),
-        ("e05", e05),
-        ("e06", e06),
-        ("e07", e07),
-        ("e08", e08),
-        ("e09", e09),
-        ("e10", e10),
-        ("e11", e11),
-        ("e12", e12),
-        ("e13", e13),
-        ("e14", e14),
-        ("e15", e15),
-        ("e16", e16),
-        ("e17", e17),
+        plain("e01", e01 as ExpFn),
+        plain("e02", e02),
+        plain("e03", e03),
+        plain("e04", e04),
+        plain("e05", e05),
+        plain("e06", e06),
+        plain("e07", e07),
+        plain("e08", e08),
+        plain("e09", e09),
+        plain("e10", e10),
+        plain("e11", e11),
+        plain("e12", e12),
+        plain("e13", e13),
+        plain("e14", e14),
+        plain("e15", e15),
+        plain("e16", e16),
+        plain("e17", e17),
+        Experiment {
+            id: "e18",
+            f: e18,
+            prereq: e18_prereq,
+        },
     ]
 }
 

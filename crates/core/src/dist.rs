@@ -130,6 +130,39 @@ impl Sampler {
     }
 }
 
+/// Open-loop arrival-time generator: a Poisson process at `target_qps`,
+/// produced by sampling exponential inter-arrival gaps. Used by remote
+/// drivers (`pmload --open-loop`) where each request's latency is
+/// measured from its *intended* arrival instant, so queueing delay shows
+/// up in the tail instead of being absorbed by a closed loop.
+#[derive(Debug, Clone)]
+pub struct Arrivals {
+    mean_ns: f64,
+    next_ns: f64,
+}
+
+impl Arrivals {
+    /// A Poisson arrival process averaging `target_qps` events/second.
+    pub fn poisson(target_qps: f64) -> Arrivals {
+        assert!(target_qps > 0.0, "target qps must be positive");
+        Arrivals {
+            mean_ns: 1e9 / target_qps,
+            next_ns: 0.0,
+        }
+    }
+
+    /// Nanoseconds (from schedule start) of the next arrival.
+    #[inline]
+    pub fn next(&mut self, rng: &mut SmallRng) -> u64 {
+        let at = self.next_ns as u64;
+        // Inverse-CDF exponential gap; clamp u away from 1.0 so ln()
+        // stays finite.
+        let u: f64 = rng.gen::<f64>().min(0.999_999_999);
+        self.next_ns += -(1.0 - u).ln() * self.mean_ns;
+        at
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +207,21 @@ mod tests {
         assert!(counts[0] as f64 / total as f64 > 0.05);
         // And all samples are in range (implicitly: no panic).
         assert_eq!(total, 200_000);
+    }
+
+    #[test]
+    fn poisson_arrivals_average_out() {
+        let mut arr = Arrivals::poisson(1_000_000.0); // 1 µs mean gap
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut last = 0u64;
+        for _ in 0..100_000 {
+            let t = arr.next(&mut rng);
+            assert!(t >= last, "arrival times must be monotone");
+            last = t;
+        }
+        // 100k arrivals at 1M qps should span ~100ms (±20%).
+        let ms = last as f64 / 1e6;
+        assert!((80.0..120.0).contains(&ms), "span {ms} ms");
     }
 
     #[test]

@@ -118,11 +118,14 @@ impl ShardedExploreSummary {
 
 /// Spread a narrow workload key across the full keyspace (injective,
 /// order-preserving) so the partitioned router exercises every shard.
-fn spread_key(k: u64, key_range: u64) -> u64 {
+/// Shared with the network crash harness (`net::crash`), which replays
+/// the same deterministic workload through the TCP serving path.
+pub fn spread_key(k: u64, key_range: u64) -> u64 {
     k * (u64::MAX / key_range.max(1))
 }
 
-fn spread_op(op: WorkloadOp, key_range: u64) -> WorkloadOp {
+/// [`spread_key`] applied to an op's key (value untouched).
+pub fn spread_op(op: WorkloadOp, key_range: u64) -> WorkloadOp {
     match op {
         WorkloadOp::Insert(k, v) => WorkloadOp::Insert(spread_key(k, key_range), v),
         WorkloadOp::Update(k, v) => WorkloadOp::Update(spread_key(k, key_range), v),

@@ -1,0 +1,215 @@
+//! `pmload` — drive a remote `pmserve` with a pibench-style workload.
+//!
+//! ```text
+//! pmload --addr 127.0.0.1:7777 --records 100000 --ops 200000 \
+//!        --conns 4 --window 32 --mix 60,10,10,10,10
+//! pmload --addr ... --open-loop-qps 50000          # Poisson arrivals
+//! pmload --addr ... --conns 1 --oracle             # model-checked run
+//! ```
+//!
+//! Emits a human table on stderr, one JSON document line on stdout
+//! (same latency-percentile shape as local `pibench` runs), and one
+//! `RESULT key=value ...` line on stdout for shell-side consumers.
+//! With `--shutdown` it asks the server to drain after the run.
+
+use std::time::Duration;
+
+use net::client::{run_load, send_shutdown, LoadConfig};
+use pibench::dist::Distribution;
+use pibench::report::{JsonObj, Table};
+use pibench::workload::OP_KINDS;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pmload --addr HOST:PORT [--records N] [--ops N] [--conns N] [--window N]\n\
+         \x20              [--mix L,I,U,R,S] [--dist uniform|selfsimilar|zipfian] [--theta F]\n\
+         \x20              [--scan-len N] [--seed N] [--open-loop-qps Q] [--oracle] [--shutdown]"
+    );
+    std::process::exit(2)
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let mut cfg = LoadConfig::default();
+    let mut theta = 0.99f64;
+    let mut dist_name = "uniform".to_string();
+    let mut shutdown = false;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--addr" => cfg.addr = val(),
+            "--records" => cfg.records = val().parse().unwrap_or_else(|_| usage()),
+            "--ops" => cfg.ops = val().parse().unwrap_or_else(|_| usage()),
+            "--conns" => cfg.conns = val().parse().unwrap_or_else(|_| usage()),
+            "--window" => cfg.window = val().parse().unwrap_or_else(|_| usage()),
+            "--mix" => {
+                let parts: Vec<u8> = val()
+                    .split(',')
+                    .map(|p| p.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if parts.len() != 5 {
+                    usage();
+                }
+                cfg.mix.lookup = parts[0];
+                cfg.mix.insert = parts[1];
+                cfg.mix.update = parts[2];
+                cfg.mix.remove = parts[3];
+                cfg.mix.scan = parts[4];
+                cfg.mix.validate();
+            }
+            "--dist" => dist_name = val(),
+            "--theta" => theta = val().parse().unwrap_or_else(|_| usage()),
+            "--scan-len" => cfg.scan_len = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--open-loop-qps" => {
+                cfg.open_loop_qps = Some(val().parse().unwrap_or_else(|_| usage()))
+            }
+            "--oracle" => cfg.oracle = true,
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    cfg.dist = match dist_name.as_str() {
+        "uniform" => Distribution::Uniform,
+        "selfsimilar" => Distribution::self_similar_80_20(),
+        "zipfian" => Distribution::Zipfian { theta },
+        _ => usage(),
+    };
+    if cfg.oracle && cfg.conns != 1 {
+        eprintln!("pmload: --oracle requires --conns 1 (FIFO execution order)");
+        std::process::exit(2);
+    }
+
+    let r = run_load(&cfg).unwrap_or_else(|e| {
+        eprintln!("pmload: {e}");
+        std::process::exit(1);
+    });
+
+    let loop_mode = if cfg.open_loop_qps.is_some() {
+        "open"
+    } else {
+        "closed"
+    };
+    let mut t = Table::new(vec!["metric", "value"]);
+    t.row(vec!["loop".to_string(), loop_mode.to_string()]);
+    t.row(vec![
+        "conns x window".to_string(),
+        format!("{} x {}", cfg.conns, cfg.window),
+    ]);
+    t.row(vec!["sent".to_string(), r.sent.to_string()]);
+    t.row(vec!["acked".to_string(), r.acked.to_string()]);
+    t.row(vec!["misses".to_string(), r.misses.to_string()]);
+    t.row(vec!["errors".to_string(), r.errors.to_string()]);
+    t.row(vec![
+        "throughput".to_string(),
+        format!("{:.3} Mops/s", r.mops()),
+    ]);
+    for kind in OP_KINDS {
+        let h = &r.hists[kind as usize];
+        if h.is_empty() {
+            continue;
+        }
+        t.row(vec![
+            format!("{} p50/p99/p99.9", kind.label()),
+            format!(
+                "{} / {} / {} ns",
+                h.percentile(50.0),
+                h.percentile(99.0),
+                h.percentile(99.9)
+            ),
+        ]);
+    }
+    if cfg.oracle {
+        t.row(vec![
+            "oracle".to_string(),
+            format!(
+                "{} checked, {} violations",
+                r.oracle_checked, r.oracle_violations
+            ),
+        ]);
+    }
+    if r.server_closed {
+        t.row(vec![
+            "server".to_string(),
+            "closed mid-run (drain or halt)".to_string(),
+        ]);
+    }
+    eprint!("{}", t.to_text());
+
+    // JSON document (one line, pibench-compatible latency shape).
+    let mut o = JsonObj::new();
+    o.str("tool", "pmload")
+        .str("addr", &cfg.addr)
+        .str("loop", loop_mode)
+        .u64("conns", cfg.conns as u64)
+        .u64("window", cfg.window as u64)
+        .u64("records", cfg.records)
+        .u64("sent", r.sent)
+        .u64("acked", r.acked)
+        .u64("misses", r.misses)
+        .u64("errors", r.errors)
+        .f64("elapsed_s", r.elapsed.as_secs_f64())
+        .f64("throughput_mops", r.mops())
+        .bool("server_closed", r.server_closed);
+    if let Some(q) = cfg.open_loop_qps {
+        o.f64("target_qps", q);
+    }
+    let mut lat = JsonObj::new();
+    for kind in OP_KINDS {
+        let h = &r.hists[kind as usize];
+        if h.is_empty() {
+            continue;
+        }
+        let mut l = JsonObj::new();
+        l.u64("count", h.len() as u64)
+            .u64("p50", h.percentile(50.0))
+            .u64("p99", h.percentile(99.0))
+            .u64("p999", h.percentile(99.9))
+            .f64("mean", h.mean());
+        lat.obj(kind.label(), l);
+    }
+    o.obj("latency_ns", lat);
+    if cfg.oracle {
+        let mut or = JsonObj::new();
+        or.u64("checked", r.oracle_checked)
+            .u64("violations", r.oracle_violations);
+        o.obj("oracle", or);
+    }
+    println!("{}", o.finish());
+
+    // Flat line for shell/e18 consumers (no JSON parser needed).
+    let all = {
+        let mut h = pibench::hist::LatencyHistogram::new();
+        for hh in &r.hists {
+            h.merge(hh);
+        }
+        h
+    };
+    println!(
+        "RESULT loop={loop_mode} acked={} errors={} mops={:.4} p50_ns={} p99_ns={} p999_ns={} oracle_violations={}",
+        r.acked,
+        r.errors,
+        r.mops(),
+        all.percentile(50.0),
+        all.percentile(99.0),
+        all.percentile(99.9),
+        r.oracle_violations
+    );
+
+    if shutdown {
+        if let Err(e) = send_shutdown(&cfg.addr) {
+            eprintln!("pmload: shutdown request failed: {e}");
+        } else {
+            // Give the server a beat to finish draining before we exit
+            // (useful for scripted two-process runs).
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    if r.errors > 0 || (cfg.oracle && r.oracle_violations > 0) {
+        std::process::exit(1);
+    }
+}

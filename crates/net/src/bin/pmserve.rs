@@ -1,0 +1,301 @@
+//! `pmserve` — serve a PM range index over TCP.
+//!
+//! ```text
+//! pmserve --index fptree --shards 4 --records 100000 --addr 127.0.0.1:7777 \
+//!         --workers 4 --batch-max 32 --sample-ms 500 --selfcheck
+//! ```
+//!
+//! Prints `pmserve listening on <addr>` once ready (drivers parse this
+//! line), then serves until SIGTERM/SIGINT or a wire `Shutdown`
+//! request, drains gracefully, and prints a serving summary. With
+//! `--selfcheck` it power-cycles the pools after drain and verifies the
+//! recovered index matches the served one record for record — the
+//! durable-ack invariant at process scale. With `--sample-ms N` an
+//! `obs::Sampler` records per-interval served-QPS / batch-size /
+//! fence-rate next to the PM bandwidth columns.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use index_api::RangeIndex;
+use net::build::{build_sharded, recover_sharded, SERVE_KINDS};
+use net::server::{Server, ServerConfig};
+use pibench::report::Table;
+use pmem::{PmConfig, PmStatsSnapshot};
+
+static TERM: AtomicBool = AtomicBool::new(false);
+
+// SIGTERM/SIGINT → graceful drain, without adding a signal-handling
+// dependency: std already links libc, so declare `signal` directly.
+extern "C" fn on_signal(_sig: i32) {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: *const ()) -> *const ();
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal as *const ());
+        signal(SIGINT, on_signal as *const ());
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pmserve [--index KIND] [--shards N] [--records N] [--addr HOST:PORT]\n\
+         \x20               [--workers N] [--batch-max N] [--window N] [--max-conns N]\n\
+         \x20               [--pm real|optane] [--sample-ms N] [--selfcheck] [--trace]\n\
+         \x20 KIND one of {SERVE_KINDS:?}"
+    );
+    std::process::exit(2)
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let mut index_kind = "fptree".to_string();
+    let mut shards = 4usize;
+    let mut records = 100_000u64;
+    let mut addr = "127.0.0.1:7777".to_string();
+    let mut cfg = ServerConfig::default();
+    let mut pm = PmConfig::optane_like();
+    let mut sample_ms: Option<u64> = None;
+    let mut selfcheck = false;
+    let mut trace = false;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--index" => index_kind = val(),
+            "--shards" => shards = val().parse().unwrap_or_else(|_| usage()),
+            "--records" => records = val().parse().unwrap_or_else(|_| usage()),
+            "--addr" => addr = val(),
+            "--workers" => cfg.workers = val().parse().unwrap_or_else(|_| usage()),
+            "--batch-max" => cfg.batch_max = val().parse().unwrap_or_else(|_| usage()),
+            "--window" => cfg.window = val().parse().unwrap_or_else(|_| usage()),
+            "--max-conns" => cfg.max_conns = val().parse().unwrap_or_else(|_| usage()),
+            "--pm" => {
+                pm = match val().as_str() {
+                    "real" => PmConfig::real(),
+                    "optane" => PmConfig::optane_like(),
+                    _ => usage(),
+                }
+            }
+            "--sample-ms" => sample_ms = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--selfcheck" => selfcheck = true,
+            "--trace" => trace = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if !SERVE_KINDS.contains(&index_kind.as_str()) {
+        usage();
+    }
+    cfg.addr = addr;
+
+    install_signal_handlers();
+
+    eprintln!("pmserve: building {index_kind} x{shards}, prefilling {records} records");
+    let env = build_sharded(&index_kind, shards, records, pm);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    net::build::prefill(&env.index, records, threads);
+    for p in &env.pools {
+        p.reset_stats();
+    }
+
+    let server = Server::start(env.index.clone(), env.pools.clone(), cfg)
+        .unwrap_or_else(|e| panic!("bind failed: {e}"));
+    let handle = server.handle();
+    // Drivers wait for this exact line before connecting.
+    println!("pmserve listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let sampling = sample_ms.is_some() || trace;
+    if sampling {
+        obs::reset();
+        obs::set_enabled(true);
+    }
+    // One obs::Sampler carries both axes: its closure reads the merged
+    // PM counters for the bandwidth columns and, as a synchronized side
+    // effect, snapshots the serving counters for batch-size/fence-rate.
+    let net_series: Arc<Mutex<Vec<(u64, u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sampler = sample_ms.map(|ms| {
+        let pools = env.pools.clone();
+        let stats = server.stats();
+        let net_series = net_series.clone();
+        obs::Sampler::start(ms, move || {
+            net_series.lock().unwrap().push(stats.batch_counters());
+            let s =
+                PmStatsSnapshot::merged(pools.iter().map(|p| p.stats()).collect::<Vec<_>>().iter());
+            obs::PmCounters {
+                read_bytes: s.read_bytes,
+                write_bytes: s.write_bytes,
+                media_read_bytes: s.media_read_bytes,
+                media_write_bytes: s.media_write_bytes,
+                clwb: s.clwb,
+                ntstore: s.ntstore,
+                fence: s.fence,
+            }
+        })
+    });
+
+    // Serve until a signal or a wire Shutdown begins the drain.
+    loop {
+        if TERM.load(Ordering::SeqCst) {
+            eprintln!("pmserve: signal received, draining");
+            handle.drain();
+        }
+        if handle.draining() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let report = server.join();
+    let series = sampler.map(|s| s.stop());
+    if sampling {
+        obs::set_enabled(false);
+    }
+
+    // Per-interval table: served QPS + batch shape next to the PM
+    // bandwidth columns.
+    if let Some(ts) = &series {
+        let net_pts = net_series.lock().unwrap();
+        let mut t = Table::new(vec![
+            "t_ms", "qps", "batch", "fence/s", "rd GiB/s", "wr GiB/s",
+        ]);
+        let mut prev = (0u64, 0u64, 0u64);
+        for (i, p) in ts.points.iter().enumerate() {
+            let cur = net_pts.get(i + 1).copied().unwrap_or(prev);
+            let (db, dops, df) = (cur.0 - prev.0, cur.1 - prev.1, cur.2 - prev.2);
+            prev = cur;
+            let avg_batch = if db > 0 { dops as f64 / db as f64 } else { 0.0 };
+            let dt_s = (p.dt_ms as f64 / 1e3).max(1e-9);
+            t.row(vec![
+                p.t_ms.to_string(),
+                format!("{:.0}", p.ops as f64 / dt_s),
+                format!("{avg_batch:.1}"),
+                format!("{:.0}", df as f64 / dt_s),
+                format!("{:.3}", p.read_gibps()),
+                format!("{:.3}", p.write_gibps()),
+            ]);
+        }
+        eprintln!("\nper-interval serving samples:");
+        eprint!("{}", t.to_text());
+    }
+    if trace {
+        let sites = obs::site_table();
+        let mut t = Table::new(vec!["site", "events", "read B", "write B"]);
+        for s in &sites {
+            t.row(vec![
+                s.name.clone(),
+                s.events.to_string(),
+                s.read_bytes.to_string(),
+                s.write_bytes.to_string(),
+            ]);
+        }
+        eprintln!("\nper-site PM traffic attribution:");
+        eprint!("{}", t.to_text());
+    }
+
+    let st = &report.stats;
+    let total = st.total_served();
+    let (batches, batch_ops, fences) = st.batch_counters();
+    let mut t = Table::new(vec!["metric", "value"]);
+    t.row(vec!["served ops".to_string(), total.to_string()]);
+    for (i, label) in ["lookup", "insert", "update", "remove", "scan"]
+        .iter()
+        .enumerate()
+    {
+        t.row(vec![
+            format!("  {label}"),
+            st.served[i].load(Ordering::Relaxed).to_string(),
+        ]);
+    }
+    t.row(vec![
+        "acked writes".to_string(),
+        st.acked_writes.load(Ordering::Relaxed).to_string(),
+    ]);
+    t.row(vec![
+        "batches".to_string(),
+        format!(
+            "{batches} (avg {:.1} writes, {fences} fence epochs)",
+            if batches > 0 {
+                batch_ops as f64 / batches as f64
+            } else {
+                0.0
+            }
+        ),
+    ]);
+    t.row(vec![
+        "conns".to_string(),
+        format!(
+            "{} accepted, {} overload-rejected, {} shed",
+            st.conns_accepted.load(Ordering::Relaxed),
+            st.overload_rejected.load(Ordering::Relaxed),
+            st.shed_conns.load(Ordering::Relaxed)
+        ),
+    ]);
+    t.row(vec![
+        "time split".to_string(),
+        format!(
+            "wire {}ms, index {}ms, fence {}ms",
+            st.wire_ns.load(Ordering::Relaxed) / 1_000_000,
+            st.index_ns.load(Ordering::Relaxed) / 1_000_000,
+            st.fence_ns.load(Ordering::Relaxed) / 1_000_000
+        ),
+    ]);
+    t.row(vec![
+        "halted".to_string(),
+        if report.halted {
+            "yes (crash point)"
+        } else {
+            "no"
+        }
+        .to_string(),
+    ]);
+    eprintln!("\npmserve drained:");
+    eprint!("{}", t.to_text());
+
+    if report.halted {
+        eprintln!("pmserve: halted by an armed crash point");
+        std::process::exit(3);
+    }
+
+    if selfcheck {
+        if env.pools.is_empty() {
+            eprintln!("selfcheck: skipped (dram index has no pools)");
+        } else {
+            // At drain nothing is in flight, so the served state and
+            // the post-power-cycle state must agree exactly.
+            let mut live = Vec::new();
+            env.index.scan(0, usize::MAX >> 1, &mut live);
+            let pools = env.pools.clone();
+            drop(env);
+            for p in &pools {
+                p.crash();
+            }
+            let rec = recover_sharded(&index_kind, pools);
+            let mut post = Vec::new();
+            rec.index.scan(0, usize::MAX >> 1, &mut post);
+            if live != post {
+                eprintln!(
+                    "selfcheck FAILED: served {} records, recovered {}",
+                    live.len(),
+                    post.len()
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "selfcheck ok: {} records survived the power cycle",
+                live.len()
+            );
+        }
+    }
+}

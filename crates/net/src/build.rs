@@ -1,0 +1,168 @@
+//! Index construction for the serving binaries.
+//!
+//! `pmserve` must stand up the same default-configuration sharded
+//! indexes the local benchmarks use, but `net` deliberately does not
+//! depend on the `bench` crate (the harness sits *above* the serving
+//! layer — E18 drives these binaries as subprocesses). So the small
+//! amount of construction logic lives here: default-config inner
+//! indexes, one pool + allocator per shard, behind one
+//! [`engine::ShardedIndex`].
+
+use std::sync::Arc;
+
+use bztree::{BzTree, BzTreeConfig};
+use dram_index::DramTree;
+use engine::{Shard, ShardedIndex};
+use fptree::{FpTree, FpTreeConfig};
+use index_api::RangeIndex;
+use nvtree::{NvTree, NvTreeConfig};
+use pmalloc::{AllocMode, PmAllocator};
+use pmem::{PmConfig, PmPool, ROOT_AREA};
+use wbtree::{WbTree, WbTreeConfig};
+
+/// Index kinds `pmserve` can serve.
+pub const SERVE_KINDS: [&str; 5] = ["fptree", "nvtree", "wbtree", "bztree", "dram"];
+
+/// A served index with its backing pools/allocators (empty for DRAM).
+pub struct BuiltEnv {
+    /// The index behind the server.
+    pub index: Arc<ShardedIndex>,
+    /// Its emulated PM pools, in shard order.
+    pub pools: Vec<Arc<PmPool>>,
+    /// Its allocators, in shard order.
+    pub allocs: Vec<Arc<PmAllocator>>,
+}
+
+/// Per-shard pool capacity for `total_records` split over `shards`:
+/// generous per-record budget plus fixed per-pool overhead (root area,
+/// allocator metadata), matching the local harness's sizing heuristic.
+pub fn pool_bytes_for_shard(total_records: u64, shards: usize) -> usize {
+    assert!(shards >= 1);
+    let budget = (total_records as usize) * 320 + (64 << 20);
+    budget.div_ceil(shards) + ROOT_AREA as usize + (4 << 20)
+}
+
+fn make_index(kind: &str, alloc: &Arc<PmAllocator>) -> Arc<dyn RangeIndex> {
+    match kind {
+        "fptree" => FpTree::create(alloc.clone(), FpTreeConfig::default()),
+        "nvtree" => NvTree::create(alloc.clone(), NvTreeConfig::default()),
+        "wbtree" => WbTree::create(alloc.clone(), WbTreeConfig::default()),
+        "bztree" => BzTree::create(alloc.clone(), BzTreeConfig::default()),
+        other => panic!("unknown index kind {other:?} (expected one of {SERVE_KINDS:?})"),
+    }
+}
+
+fn reopen_index(kind: &str, alloc: &Arc<PmAllocator>) -> Arc<dyn RangeIndex> {
+    match kind {
+        "fptree" => FpTree::recover(alloc.clone(), FpTreeConfig::default()),
+        "nvtree" => NvTree::recover(alloc.clone(), NvTreeConfig::default()),
+        "wbtree" => WbTree::recover(alloc.clone(), WbTreeConfig::default()),
+        "bztree" => BzTree::recover(alloc.clone(), BzTreeConfig::default()),
+        other => panic!("unknown index kind {other:?}"),
+    }
+}
+
+/// Build a fresh default-config sharded index of `kind` sized for
+/// `records`, on `shards` independent pools.
+pub fn build_sharded(kind: &str, shards: usize, records: u64, pm: PmConfig) -> BuiltEnv {
+    assert!(shards >= 1);
+    let parts: Vec<Shard> = (0..shards)
+        .map(|_| {
+            if kind == "dram" {
+                Shard {
+                    index: Arc::new(DramTree::new()),
+                    pool: None,
+                    alloc: None,
+                }
+            } else {
+                let pool = Arc::new(PmPool::new(
+                    pool_bytes_for_shard(records, shards),
+                    pm.clone(),
+                ));
+                let alloc = PmAllocator::format(pool.clone(), AllocMode::General);
+                Shard {
+                    index: make_index(kind, &alloc),
+                    pool: Some(pool),
+                    alloc: Some(alloc),
+                }
+            }
+        })
+        .collect();
+    let index = ShardedIndex::from_parts(parts);
+    let pools = index.pools();
+    let allocs = index.allocs();
+    BuiltEnv {
+        index,
+        pools,
+        allocs,
+    }
+}
+
+/// Reopen every shard of a crashed default-config sharded index (the
+/// `pmserve --selfcheck` restart path).
+pub fn recover_sharded(kind: &str, pools: Vec<Arc<PmPool>>) -> BuiltEnv {
+    let index = ShardedIndex::recover_with(pools, true, |_, pool| {
+        let alloc = PmAllocator::try_recover(pool, AllocMode::General)?;
+        Ok((reopen_index(kind, &alloc), alloc))
+    })
+    .expect("shard recovery hit a media error");
+    let pools = index.pools();
+    let allocs = index.allocs();
+    BuiltEnv {
+        index,
+        pools,
+        allocs,
+    }
+}
+
+/// Prefill `records` keys (the pibench keyspace: `mix(0..records)` with
+/// derived values) using `threads` concurrent inserters.
+pub fn prefill(index: &Arc<ShardedIndex>, records: u64, threads: usize) {
+    let threads = threads.max(1);
+    let ks = pibench::keys::KeySpace::new(records);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let index = index.clone();
+            let ks = &ks;
+            scope.spawn(move || {
+                let mut i = t as u64;
+                while i < records {
+                    let k = ks.key(i);
+                    assert!(index.insert(k, ks.value_for(k)), "prefill collision at {i}");
+                    i += threads as u64;
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_prefill_recover_roundtrip() {
+        let env = build_sharded("wbtree", 2, 2_000, PmConfig::real());
+        prefill(&env.index, 2_000, 2);
+        let ks = pibench::keys::KeySpace::new(2_000);
+        assert_eq!(env.index.lookup(ks.key(7)), Some(ks.value_for(ks.key(7))));
+        let pools = env.pools.clone();
+        drop(env);
+        for p in &pools {
+            p.crash();
+        }
+        let env2 = recover_sharded("wbtree", pools);
+        for i in (0..2_000u64).step_by(97) {
+            let k = ks.key(i);
+            assert_eq!(env2.index.lookup(k), Some(ks.value_for(k)), "key {i}");
+        }
+    }
+
+    #[test]
+    fn dram_env_has_no_pools() {
+        let env = build_sharded("dram", 3, 500, PmConfig::real());
+        prefill(&env.index, 500, 1);
+        assert!(env.pools.is_empty());
+        assert_eq!(env.index.shard_count(), 3);
+    }
+}

@@ -1,0 +1,745 @@
+//! The serving half: a thread-per-core accept/worker model over one
+//! [`RangeIndex`] front-end (typically an `engine::ShardedIndex`).
+//!
+//! ## Threading model
+//!
+//! One acceptor thread owns the listener; `workers` worker threads each
+//! own a disjoint set of connections (handed over round-robin at accept
+//! time) and run a read → execute → fence → write loop over them with
+//! nonblocking sockets. Nothing is shared between workers except the
+//! index itself, the pools, and the relaxed-atomic [`ServeStats`]
+//! counters — the classic thread-per-core shape.
+//!
+//! ## Group durability
+//!
+//! Write operations (insert/update/delete) are executed immediately but
+//! their acks are *held back*: the worker accumulates up to
+//! `batch_max` executed writes, notes which shard pools they touched,
+//! then issues **one fence epoch** — `PmPool::fence_epoch` on each
+//! touched pool, under the `net_batch_fence` obs site — and only then
+//! releases the whole batch of acks to the output buffers. An acked
+//! write therefore always sits behind a completed fence epoch on its
+//! shard's pool, which is what the crash harness
+//! (`crashpoint::net`) proves end to end: arm any persistence boundary
+//! through this path and every acked write survives `try_recover`.
+//!
+//! If a crash point trips inside an operation or inside the fence
+//! epoch itself, the worker unwinds via [`CrashPointHit`], the server
+//! **halts** — no further ops execute, buffered-but-unsent acks are
+//! dropped, every connection closes — exactly the observable behaviour
+//! of a power cut at that instant.
+//!
+//! ## Backpressure and admission
+//!
+//! Per connection: at most `window` decoded-but-unanswered requests
+//! (beyond it the worker stops reading that socket, pushing back
+//! through TCP flow control), and at most `max_outbuf` bytes of
+//! buffered responses (beyond it the connection is shed as a slow
+//! reader). Globally: at most `max_conns` connections; excess accepts
+//! receive a [`Status::Overload`] load-shed frame and are closed.
+//!
+//! ## Graceful drain
+//!
+//! `ServerHandle::drain` (or a `Shutdown` request, or SIGTERM in
+//! `pmserve`) stops the acceptor, lets workers finish executing and
+//! acking everything already read — including the final fence epoch —
+//! flushes, closes, and joins. `Server::join` returns the final
+//! [`ServeStats`] snapshot.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use index_api::RangeIndex;
+use pmem::{CrashPointHit, PmPool};
+
+use crate::wire::{FrameBuf, Opcode, ReqOp, Request, Response, Status};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (thread-per-core; 0 = available parallelism).
+    pub workers: usize,
+    /// Max executed writes per group-durability fence epoch.
+    pub batch_max: usize,
+    /// Per-connection bound on decoded-but-unanswered requests.
+    pub window: usize,
+    /// Admission-control cap on concurrent connections.
+    pub max_conns: usize,
+    /// Slow-reader shed threshold: max buffered response bytes.
+    pub max_outbuf: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            batch_max: 32,
+            window: 256,
+            max_conns: 1024,
+            max_outbuf: 4 << 20,
+        }
+    }
+}
+
+/// Relaxed-atomic serving counters, shared by all threads and sampled
+/// live by `pmserve --sample-ms`.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Requests served per op kind (lookup, insert, update, remove,
+    /// scan — `pibench::OpKind` order).
+    pub served: [AtomicU64; 5],
+    /// Clean negative outcomes (miss / duplicate insert).
+    pub misses: AtomicU64,
+    /// Write acks released (always behind a fence epoch).
+    pub acked_writes: AtomicU64,
+    /// Group-durability batches committed.
+    pub batches: AtomicU64,
+    /// Writes carried by those batches (avg batch = this / batches).
+    pub batch_ops: AtomicU64,
+    /// Per-pool fence calls issued by batch commits.
+    pub fence_epochs: AtomicU64,
+    /// Connections refused with the load-shed error code.
+    pub overload_rejected: AtomicU64,
+    /// Connections shed as slow readers.
+    pub shed_conns: AtomicU64,
+    /// Malformed frames answered with `Status::Bad`.
+    pub bad_frames: AtomicU64,
+    /// Connections accepted into service.
+    pub conns_accepted: AtomicU64,
+    /// Currently-active connections.
+    pub conns_active: AtomicUsize,
+    /// Wall time in socket IO + codec work, ns.
+    pub wire_ns: AtomicU64,
+    /// Wall time executing index operations, ns.
+    pub index_ns: AtomicU64,
+    /// Wall time in batch fence epochs, ns.
+    pub fence_ns: AtomicU64,
+}
+
+impl ServeStats {
+    /// Total requests served across all op kinds.
+    pub fn total_served(&self) -> u64 {
+        self.served.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Cumulative (batches, batched ops, fence calls) — the sampler's
+    /// batch-size / fence-rate source.
+    pub fn batch_counters(&self) -> (u64, u64, u64) {
+        (
+            self.batches.load(Ordering::Relaxed),
+            self.batch_ops.load(Ordering::Relaxed),
+            self.fence_epochs.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// What `Server::join` hands back after drain.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// Final counters.
+    pub stats: Arc<ServeStats>,
+    /// True if a crash point tripped through the serving path (the
+    /// server power-cut itself rather than draining).
+    pub halted: bool,
+}
+
+struct Shared {
+    index: Arc<dyn RangeIndex>,
+    pools: Vec<Arc<PmPool>>,
+    cfg: ServerConfig,
+    stats: Arc<ServeStats>,
+    drain: AtomicBool,
+    halt: AtomicBool,
+}
+
+impl Shared {
+    fn shard_of(&self, key: u64) -> usize {
+        if self.pools.is_empty() {
+            0
+        } else {
+            engine::shard_of(key, self.pools.len())
+        }
+    }
+}
+
+/// Cloneable handle for initiating graceful drain from another thread
+/// (signal handlers, tests, the wire `Shutdown` op).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begin graceful drain: stop accepting, finish acked work, exit.
+    pub fn drain(&self) {
+        self.shared.drain.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the server has begun draining (or halted).
+    pub fn draining(&self) -> bool {
+        self.shared.drain.load(Ordering::SeqCst) || self.shared.halt.load(Ordering::SeqCst)
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> Arc<ServeStats> {
+        self.shared.stats.clone()
+    }
+}
+
+/// A running server: acceptor + workers over one index.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `cfg.addr` and start serving `index` (whose PM pools are
+    /// `pools`, one per shard — empty for DRAM indexes).
+    pub fn start(
+        index: Arc<dyn RangeIndex>,
+        pools: Vec<Arc<PmPool>>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let workers_n = if cfg.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .min(8)
+        } else {
+            cfg.workers
+        };
+        let shared = Arc::new(Shared {
+            index,
+            pools,
+            cfg,
+            stats: Arc::new(ServeStats::default()),
+            drain: AtomicBool::new(false),
+            halt: AtomicBool::new(false),
+        });
+
+        let mut senders = Vec::with_capacity(workers_n);
+        let mut workers = Vec::with_capacity(workers_n);
+        for w in 0..workers_n {
+            let (tx, rx) = mpsc::channel::<TcpStream>();
+            senders.push(tx);
+            let sh = shared.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("net-worker-{w}"))
+                    .spawn(move || worker_loop(&sh, &rx))
+                    .expect("spawn net worker"),
+            );
+        }
+
+        let sh = shared.clone();
+        let acceptor = std::thread::Builder::new()
+            .name("net-acceptor".into())
+            .spawn(move || accept_loop(&sh, &listener, &senders))
+            .expect("spawn net acceptor");
+
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (for ephemeral-port tests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A drain/stats handle usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> Arc<ServeStats> {
+        self.shared.stats.clone()
+    }
+
+    /// Whether a crash point has tripped through the serving path.
+    pub fn halted(&self) -> bool {
+        self.shared.halt.load(Ordering::SeqCst)
+    }
+
+    /// Join all threads after drain (blocks until they exit).
+    pub fn join(mut self) -> DrainReport {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        DrainReport {
+            stats: self.shared.stats.clone(),
+            halted: self.shared.halt.load(Ordering::SeqCst),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.drain.store(true, Ordering::SeqCst);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn accept_loop(sh: &Shared, listener: &TcpListener, senders: &[mpsc::Sender<TcpStream>]) {
+    let mut next = 0usize;
+    loop {
+        if sh.drain.load(Ordering::SeqCst) || sh.halt.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                if sh.stats.conns_active.load(Ordering::Relaxed) >= sh.cfg.max_conns {
+                    // Admission control: answer with the load-shed
+                    // error code, then close.
+                    sh.stats.overload_rejected.fetch_add(1, Ordering::Relaxed);
+                    let mut out = Vec::new();
+                    Response::basic(0, Opcode::Shutdown, Status::Overload).encode_into(&mut out);
+                    let mut s = stream;
+                    let _ = s.set_nonblocking(false);
+                    let _ = s.set_write_timeout(Some(Duration::from_millis(100)));
+                    let _ = s.write_all(&out);
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                sh.stats.conns_active.fetch_add(1, Ordering::Relaxed);
+                sh.stats.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                if senders[next % senders.len()].send(stream).is_err() {
+                    // Worker gone (halt): stop accepting.
+                    return;
+                }
+                next = next.wrapping_add(1);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    inbuf: FrameBuf,
+    queue: std::collections::VecDeque<Request>,
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// Decoded-but-unanswered requests (the backpressure window).
+    inflight: usize,
+    eof: bool,
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            inbuf: FrameBuf::new(),
+            queue: std::collections::VecDeque::new(),
+            outbuf: Vec::new(),
+            outpos: 0,
+            inflight: 0,
+            eof: false,
+            close_after_flush: false,
+        }
+    }
+
+    fn out_pending(&self) -> usize {
+        self.outbuf.len() - self.outpos
+    }
+
+    fn push_response(&mut self, r: &Response) {
+        r.encode_into(&mut self.outbuf);
+        self.inflight = self.inflight.saturating_sub(1);
+    }
+}
+
+/// Execute one request against the index. May unwind with
+/// [`CrashPointHit`] when a crash point is armed on the touched pool.
+fn exec(idx: &dyn RangeIndex, req: &Request) -> Response {
+    let (status, value, pairs) = match req.op {
+        ReqOp::Lookup(k) => match idx.lookup(k) {
+            Some(v) => (Status::Ok, Some(v), Vec::new()),
+            None => (Status::Miss, None, Vec::new()),
+        },
+        ReqOp::Insert(k, v) => (
+            if idx.insert(k, v) {
+                Status::Ok
+            } else {
+                Status::Miss
+            },
+            None,
+            Vec::new(),
+        ),
+        ReqOp::Update(k, v) => (
+            if idx.update(k, v) {
+                Status::Ok
+            } else {
+                Status::Miss
+            },
+            None,
+            Vec::new(),
+        ),
+        ReqOp::Remove(k) => (
+            if idx.remove(k) {
+                Status::Ok
+            } else {
+                Status::Miss
+            },
+            None,
+            Vec::new(),
+        ),
+        ReqOp::Scan(start, count) => {
+            let mut out = Vec::new();
+            idx.scan(start, count as usize, &mut out);
+            (Status::Ok, None, out)
+        }
+        ReqOp::Shutdown => (Status::Ok, None, Vec::new()),
+    };
+    Response {
+        req_id: req.req_id,
+        op: req.op.opcode(),
+        status,
+        value,
+        pairs,
+    }
+}
+
+fn op_kind_slot(op: &ReqOp) -> Option<usize> {
+    // pibench::OpKind order: Lookup, Insert, Update, Remove, Scan.
+    Some(match op {
+        ReqOp::Lookup(..) => 0,
+        ReqOp::Insert(..) => 1,
+        ReqOp::Update(..) => 2,
+        ReqOp::Remove(..) => 3,
+        ReqOp::Scan(..) => 4,
+        ReqOp::Shutdown => return None,
+    })
+}
+
+/// One executed-but-unacked write waiting for its batch's fence epoch.
+struct PendingAck {
+    conn: usize,
+    resp: Response,
+}
+
+#[allow(clippy::too_many_lines)]
+fn worker_loop(sh: &Shared, rx: &mpsc::Receiver<TcpStream>) {
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut scratch = vec![0u8; 64 << 10];
+    let mut pending: Vec<PendingAck> = Vec::new();
+    let mut touched: Vec<bool> = vec![false; sh.pools.len()];
+    let mut idle_spins = 0u32;
+
+    'outer: loop {
+        if sh.halt.load(Ordering::SeqCst) {
+            // Power-cut semantics: drop everything unflushed.
+            return;
+        }
+        let mut progressed = false;
+
+        // Adopt newly accepted connections.
+        while let Ok(stream) = rx.try_recv() {
+            conns.push(Some(Conn::new(stream)));
+            progressed = true;
+        }
+
+        let draining = sh.drain.load(Ordering::SeqCst);
+
+        // Read + decode phase.
+        let t_wire = Instant::now();
+        for slot in conns.iter_mut() {
+            let Some(conn) = slot else { continue };
+            if conn.close_after_flush || conn.eof || draining {
+                continue;
+            }
+            // Backpressure: past the in-flight window (or a swollen
+            // output buffer) we simply stop reading this socket; TCP
+            // flow control pushes back to the client.
+            if conn.inflight >= sh.cfg.window || conn.out_pending() >= sh.cfg.max_outbuf {
+                continue;
+            }
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    conn.eof = true;
+                    progressed = true;
+                }
+                Ok(n) => {
+                    progressed = true;
+                    conn.inbuf.push(&scratch[..n]);
+                    loop {
+                        match conn.inbuf.next_frame() {
+                            Ok(Some(payload)) => match Request::decode(payload) {
+                                Ok(req) => {
+                                    conn.queue.push_back(req);
+                                    conn.inflight += 1;
+                                }
+                                Err(_) => {
+                                    sh.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                                    Response::basic(0, Opcode::Shutdown, Status::Bad)
+                                        .encode_into(&mut conn.outbuf);
+                                    conn.close_after_flush = true;
+                                    break;
+                                }
+                            },
+                            Ok(None) => break,
+                            Err(_) => {
+                                // Unrecoverable framing error.
+                                sh.stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                                Response::basic(0, Opcode::Shutdown, Status::Bad)
+                                    .encode_into(&mut conn.outbuf);
+                                conn.close_after_flush = true;
+                                break;
+                            }
+                        }
+                        if conn.inflight >= sh.cfg.window {
+                            break;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(_) => {
+                    conn.eof = true;
+                    progressed = true;
+                }
+            }
+        }
+        sh.stats
+            .wire_ns
+            .fetch_add(t_wire.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        // Execute phase: round-robin one queued request per connection
+        // until queues drain, committing a fence epoch whenever the
+        // write batch fills.
+        loop {
+            let mut any = false;
+            for ci in 0..conns.len() {
+                let Some(conn) = &mut conns[ci] else { continue };
+                let Some(req) = conn.queue.pop_front() else {
+                    continue;
+                };
+                any = true;
+                progressed = true;
+                if let ReqOp::Shutdown = req.op {
+                    sh.drain.store(true, Ordering::SeqCst);
+                    conn.push_response(&Response::basic(req.req_id, Opcode::Shutdown, Status::Ok));
+                    continue;
+                }
+                let t0 = Instant::now();
+                let result = {
+                    let _site = obs::enabled().then(|| obs::site("net_exec"));
+                    catch_unwind(AssertUnwindSafe(|| exec(&*sh.index, &req)))
+                };
+                let resp = match result {
+                    Ok(r) => r,
+                    Err(payload) => {
+                        if payload.downcast_ref::<CrashPointHit>().is_none() {
+                            resume_unwind(payload);
+                        }
+                        // Power cut through the serving path: halt
+                        // everything, ack nothing more.
+                        sh.halt.store(true, Ordering::SeqCst);
+                        continue 'outer;
+                    }
+                };
+                let dt = t0.elapsed().as_nanos() as u64;
+                sh.stats.index_ns.fetch_add(dt, Ordering::Relaxed);
+                if let Some(slot) = op_kind_slot(&req.op) {
+                    sh.stats.served[slot].fetch_add(1, Ordering::Relaxed);
+                    if obs::enabled() {
+                        obs::op_complete(slot as u8, dt);
+                        obs::count_op();
+                    }
+                }
+                if resp.status == Status::Miss {
+                    sh.stats.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                if req.op.is_write() && !sh.pools.is_empty() {
+                    // Group durability: hold the ack until the batch's
+                    // fence epoch commits.
+                    touched[sh.shard_of(key_of(&req.op))] = true;
+                    pending.push(PendingAck { conn: ci, resp });
+                    if pending.len() >= sh.cfg.batch_max
+                        && !commit_batch(sh, &mut conns, &mut pending, &mut touched)
+                    {
+                        continue 'outer;
+                    }
+                } else {
+                    conn.push_response(&resp);
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+
+        // Commit the partial batch: nothing more is queued right now,
+        // so waiting longer would only add latency (linger = 0).
+        if !pending.is_empty() && !commit_batch(sh, &mut conns, &mut pending, &mut touched) {
+            continue 'outer;
+        }
+
+        // Write phase.
+        let t_wire = Instant::now();
+        for slot in conns.iter_mut() {
+            let Some(conn) = slot else { continue };
+            if conn.out_pending() > 0 {
+                match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+                    Ok(n) => {
+                        conn.outpos += n;
+                        progressed = true;
+                        if conn.outpos == conn.outbuf.len() {
+                            conn.outbuf.clear();
+                            conn.outpos = 0;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(_) => {
+                        conn.eof = true;
+                        progressed = true;
+                    }
+                }
+            }
+            // Slow-reader shedding: the client is not draining its
+            // socket and the buffered backlog keeps growing.
+            if conn.out_pending() > sh.cfg.max_outbuf {
+                sh.stats.shed_conns.fetch_add(1, Ordering::Relaxed);
+                sh.stats.conns_active.fetch_sub(1, Ordering::Relaxed);
+                *slot = None;
+                progressed = true;
+                continue;
+            }
+            let done = conn.out_pending() == 0 && conn.queue.is_empty();
+            if done && (conn.close_after_flush || conn.eof) {
+                sh.stats.conns_active.fetch_sub(1, Ordering::Relaxed);
+                *slot = None;
+                progressed = true;
+            }
+        }
+        sh.stats
+            .wire_ns
+            .fetch_add(t_wire.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        conns.retain(|c| c.is_some());
+
+        // Drain completion: everything read has been executed, acked
+        // and flushed.
+        if draining
+            && pending.is_empty()
+            && conns.iter().flatten().all(|c| {
+                c.queue.is_empty() && c.out_pending() == 0 && c.inbuf.pending() < 4
+                // ignore a partial trailing frame
+            })
+        {
+            for c in conns.iter_mut().flatten() {
+                let _ = c.stream.shutdown(std::net::Shutdown::Both);
+                sh.stats.conns_active.fetch_sub(1, Ordering::Relaxed);
+            }
+            return;
+        }
+
+        if progressed {
+            idle_spins = 0;
+        } else {
+            idle_spins = idle_spins.saturating_add(1);
+            if idle_spins < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+}
+
+fn key_of(op: &ReqOp) -> u64 {
+    match *op {
+        ReqOp::Lookup(k) | ReqOp::Remove(k) => k,
+        ReqOp::Insert(k, _) | ReqOp::Update(k, _) => k,
+        ReqOp::Scan(k, _) => k,
+        ReqOp::Shutdown => 0,
+    }
+}
+
+/// Commit one group-durability batch: fence every touched shard pool
+/// once, then release the held write acks. Returns false (after
+/// setting the halt flag) when the fence epoch itself trips a crash
+/// point — the acks are dropped, exactly like a power cut before the
+/// fence retired.
+fn commit_batch(
+    sh: &Shared,
+    conns: &mut [Option<Conn>],
+    pending: &mut Vec<PendingAck>,
+    touched: &mut [bool],
+) -> bool {
+    let t0 = Instant::now();
+    let fenced = {
+        let _site = obs::enabled().then(|| obs::site("net_batch_fence"));
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut fences = 0u64;
+            for (i, t) in touched.iter_mut().enumerate() {
+                if *t {
+                    sh.pools[i].fence_epoch();
+                    fences += 1;
+                    *t = false;
+                }
+            }
+            fences
+        }))
+    };
+    let fences = match fenced {
+        Ok(n) => n,
+        Err(payload) => {
+            if payload.downcast_ref::<CrashPointHit>().is_none() {
+                resume_unwind(payload);
+            }
+            sh.halt.store(true, Ordering::SeqCst);
+            pending.clear();
+            touched.iter_mut().for_each(|t| *t = false);
+            return false;
+        }
+    };
+    sh.stats
+        .fence_ns
+        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    sh.stats.fence_epochs.fetch_add(fences, Ordering::Relaxed);
+    sh.stats.batches.fetch_add(1, Ordering::Relaxed);
+    sh.stats
+        .batch_ops
+        .fetch_add(pending.len() as u64, Ordering::Relaxed);
+    sh.stats
+        .acked_writes
+        .fetch_add(pending.len() as u64, Ordering::Relaxed);
+    for ack in pending.drain(..) {
+        if let Some(conn) = &mut conns[ack.conn] {
+            conn.push_response(&ack.resp);
+        }
+    }
+    true
+}

@@ -1112,6 +1112,16 @@ impl PmPool {
         std::sync::atomic::fence(Ordering::SeqCst);
     }
 
+    /// Group-durability commit point for batched serving layers: issue
+    /// one store fence and return the pool's persistence-event epoch at
+    /// the commit, so callers can correlate an ack batch with the
+    /// boundary sweep (`arm_crash_after` counts the same events).
+    #[inline]
+    pub fn fence_epoch(&self) -> u64 {
+        self.sfence();
+        self.persist_event_count()
+    }
+
     // ----- root area -------------------------------------------------------
 
     /// Read root-area slot `slot` (8 bytes each, `slot < 512`).

@@ -16,7 +16,11 @@
 //! - [`pibench`]: the benchmarking framework,
 //! - [`crashpoint`]: systematic crash-point exploration — deterministic
 //!   power failure at every persistence-event boundary, with recovery
-//!   verification and a durability audit.
+//!   verification and a durability audit,
+//! - [`net`]: the TCP serving layer — wire protocol, thread-per-core
+//!   server with durable-ack batching and backpressure, remote
+//!   workload driver (`pmserve` / `pmload`), and the crash-through-
+//!   the-server durability sweep.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 //!
@@ -52,6 +56,7 @@ pub use engine;
 pub use fptree;
 pub use htm;
 pub use index_api;
+pub use net;
 pub use nvtree;
 pub use obs;
 pub use pibench;

@@ -1,0 +1,89 @@
+//! Crash-through-the-server durability: arm crash points in a shard's
+//! pool while a remote client drives writes over real TCP, and verify
+//! after every cut that the recovered index contains **every acked
+//! write** and at most a clean prefix of the unacked pipeline (with one
+//! torn in-flight op allowed) — the group-durability contract of the
+//! serving layer, end to end.
+//!
+//! The exhaustive stride-1 sweep lives in `pm_inspector netcrash`; the
+//! tier-1 tests here stride through the boundary space so all four PM
+//! index kinds stay covered in minutes.
+
+use pm_index_bench::net::{explore_net, NetExploreOptions};
+
+fn strided(kind: &str, stride: u64, armed_shard: usize) -> NetExploreOptions {
+    NetExploreOptions {
+        kind: kind.to_string(),
+        stride,
+        armed_shard,
+        ops: 150,
+        key_range: 48,
+        shards: 2,
+        ..NetExploreOptions::default()
+    }
+}
+
+fn run_green(opts: &NetExploreOptions) {
+    let summary = explore_net(opts).expect("server io");
+    assert!(
+        summary.is_green(),
+        "{}: {} durable-ack violations, first: boundary {} — {}",
+        opts.kind,
+        summary.failures.len(),
+        summary.failures[0].boundary,
+        summary.failures[0].detail
+    );
+    assert!(
+        summary.boundaries_tested > 0,
+        "{}: no boundaries tested (probe saw {} events)",
+        opts.kind,
+        summary.probe_events
+    );
+    assert!(
+        summary.crashes_fired > 0,
+        "{}: sweep never tripped a crash point ({} boundaries, {} events)",
+        opts.kind,
+        summary.boundaries_tested,
+        summary.probe_events
+    );
+    eprintln!(
+        "{}: {} boundaries, {} fired, {} completed, {} acks, deepest unacked suffix {}",
+        opts.kind,
+        summary.boundaries_tested,
+        summary.crashes_fired,
+        summary.completed_runs,
+        summary.acked_total,
+        summary.max_unacked
+    );
+}
+
+#[test]
+fn strided_net_sweep_fptree() {
+    run_green(&strided("fptree", 173, 0));
+}
+
+#[test]
+fn strided_net_sweep_nvtree() {
+    run_green(&strided("nvtree", 211, 0));
+}
+
+#[test]
+fn strided_net_sweep_wbtree() {
+    run_green(&strided("wbtree", 193, 1));
+}
+
+#[test]
+fn strided_net_sweep_bztree() {
+    run_green(&strided("bztree", 229, 1));
+}
+
+/// A deeper client pipeline and bigger server batches shift more ops
+/// into the unacked window at the cut; the prefix oracle must still
+/// reconcile every recovered image.
+#[test]
+fn deep_pipeline_sweep_wbtree() {
+    let mut opts = strided("wbtree", 307, 0);
+    opts.batch_max = 32;
+    opts.window = 64;
+    run_green(&opts);
+}
