@@ -1,0 +1,5 @@
+//! Bench target regenerating experiment E19 (see DESIGN.md).
+fn main() {
+    let ctx = bench::cli::ExpCtx::from_env();
+    print!("{}", bench::exp::e19(&ctx));
+}

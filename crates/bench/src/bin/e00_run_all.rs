@@ -1,4 +1,4 @@
-//! Run every experiment (E1–E18) and write the collected reports to
+//! Run every experiment (E1–E19) and write the collected reports to
 //! `results/experiments.txt` (and stdout), plus one machine-readable
 //! `results/BENCH_E*.json` per experiment so the perf trajectory can be
 //! tracked across commits. Scale via `PIBENCH_*` environment variables

@@ -13,7 +13,7 @@ use pmem::{PmConfig, PmStatsSnapshot};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pibench --index <fptree|nvtree|wbtree|bztree|dram> \
+        "usage: pibench --index <fptree|nvtree|wbtree|bztree|learned|dram> \
          [--records N] [--threads N] [--shards N] [--ops N] \
          [--mix L,I,U,R,S] [--dist uniform|selfsimilar|zipfian] \
          [--scan-len N] [--seed N] [--dram] [--csv] [--json PATH] \

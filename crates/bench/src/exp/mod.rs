@@ -1,4 +1,4 @@
-//! The experiments (E1–E18), one function per table/figure.
+//! The experiments (E1–E19), one function per table/figure.
 //!
 //! Every function returns the rendered report so the `e00_run_all`
 //! binary can collect them into a results file; bench targets print to
@@ -952,6 +952,73 @@ pub fn e18(ctx: &ExpCtx) -> ExpReport {
     )
 }
 
+/// E19 — the learned index against the PM trees on its home turf and
+/// off it: pure uniform lookups (one segment predict + ε-window search
+/// in DRAM, a single PM value read, no pointer chase), a lookup-heavy
+/// 90/10 mix, an insert-heavy 10/90 mix (every insert pays a delta-log
+/// append and amortized merges), and a scan-heavy 20/80 mix (the
+/// model's sorted run is scan-friendly; the delta overlay is not).
+/// The JSON report attaches the trained model's shape — segment count,
+/// ε, delta-log occupancy, merge count — from a prefilled
+/// default-config instance.
+pub fn e19(ctx: &ExpCtx) -> ExpReport {
+    let scan_heavy = OpMix {
+        lookup: 20,
+        insert: 0,
+        update: 0,
+        remove: 0,
+        scan: 80,
+    };
+    scan_heavy.validate();
+    let mixes: [(&str, OpMix); 4] = [
+        ("lookup", OpMix::pure(OpKind::Lookup)),
+        ("lookup-heavy", OpMix::read_insert(90)),
+        ("insert-heavy", OpMix::read_insert(10)),
+        ("scan-heavy", scan_heavy),
+    ];
+    let threads = ctx.mid_threads();
+    let mut header = vec!["index".to_string()];
+    header.extend(mixes.iter().map(|(name, _)| name.to_string()));
+    let mut t = Table::new(header);
+    for kind in PM_KINDS {
+        let mut cells = vec![kind.to_string()];
+        for (_, mix) in &mixes {
+            // Fresh per point: the mixes with inserts grow the index.
+            let (b, ks) = fresh(kind, ctx, pm_cfg());
+            let cfg = ctx.point(threads, *mix, Distribution::Uniform);
+            let r = run_point(&b, &ks, &cfg);
+            cells.push(fmt_mops(r.mops()));
+        }
+        t.row(cells);
+    }
+
+    // Model-shape sidecar: what the learned index actually trained on
+    // this record count (the dyn-erased harness path can't see it).
+    let stats = {
+        let pool = Arc::new(PmPool::new(registry::pool_bytes(ctx.records), pm_cfg()));
+        let alloc = pmalloc::PmAllocator::format(pool.clone(), pmalloc::AllocMode::General);
+        let idx = learned::LearnedIndex::create(alloc, learned::LearnedConfig::default());
+        let ks = KeySpace::new(ctx.records);
+        prefill(&*idx, &ks, ctx.max_threads);
+        idx.model_stats()
+    };
+    let mut model = JsonObj::new();
+    model
+        .u64("epoch", stats.epoch)
+        .u64("model_keys", stats.model_keys as u64)
+        .u64("segments", stats.segments as u64)
+        .u64("epsilon", stats.epsilon)
+        .u64("delta_len", stats.delta_len as u64)
+        .u64("delta_cap", stats.delta_cap as u64)
+        .u64("merges", stats.merges);
+    render_extra(
+        &format!("E19: learned index vs PM trees ({threads} threads, Mops/s, uniform)"),
+        ctx,
+        &t,
+        &[("learned_model".to_string(), model.finish())],
+    )
+}
+
 /// One registered experiment: id, entry point, and an environment
 /// prerequisite. `e00_run_all` calls `prereq` first and skips the
 /// experiment with the returned reason instead of dying mid-sweep.
@@ -1003,6 +1070,7 @@ pub fn all() -> Vec<Experiment> {
             f: e18,
             prereq: e18_prereq,
         },
+        plain("e19", e19),
     ]
 }
 
@@ -1060,6 +1128,19 @@ mod tests {
         assert!(r.json.starts_with('{'));
         assert!(r.json.contains("\"shards\":2"));
         assert!(r.json.contains("\"rows\":["));
+    }
+
+    #[test]
+    fn e19_covers_every_pm_kind_and_attaches_model_stats() {
+        let r = e19(&tiny());
+        for kind in PM_KINDS {
+            assert!(r.text.contains(kind), "{kind} missing:\n{}", r.text);
+        }
+        assert!(r.text.contains("lookup-heavy"));
+        assert!(r.text.contains("scan-heavy"));
+        assert!(r.json.contains("\"learned_model\":{"), "{}", r.json);
+        assert!(r.json.contains("\"segments\":"), "{}", r.json);
+        assert!(r.json.contains("\"merges\":"), "{}", r.json);
     }
 
     #[test]

@@ -8,15 +8,185 @@ use dram_index::DramTree;
 use engine::{Shard, ShardedIndex};
 use fptree::{FpTree, FpTreeConfig, KeyMode};
 use index_api::RangeIndex;
+use learned::{LearnedConfig, LearnedIndex};
 use nvtree::{NvTree, NvTreeConfig};
 use pmalloc::{AllocMode, PmAllocator};
 use pmem::{PmConfig, PmPool, ROOT_AREA};
 use wbtree::{WbTree, WbTreeConfig};
 
-/// The four evaluated PM indexes.
-pub const PM_KINDS: [&str; 4] = ["fptree", "nvtree", "wbtree", "bztree"];
+/// The five evaluated PM indexes.
+pub const PM_KINDS: [&str; 5] = ["fptree", "nvtree", "wbtree", "bztree", "learned"];
 /// PM indexes plus the volatile baseline.
-pub const ALL_KINDS: [&str; 5] = ["fptree", "nvtree", "wbtree", "bztree", "dram"];
+pub const ALL_KINDS: [&str; 6] = ["fptree", "nvtree", "wbtree", "bztree", "learned", "dram"];
+
+/// One row of the kind-dispatch table: everything the harness needs to
+/// construct, reopen, or reshape one index kind (default
+/// configuration). Adding a kind — or a config variant like
+/// `fptree-nofp` — is one new row here plus membership in the KIND
+/// lists above; nothing else in the crate matches on kind strings.
+type MakeFn = fn(&Arc<PmAllocator>) -> Arc<dyn RangeIndex>;
+type MakeSizedFn = fn(&Arc<PmAllocator>, usize) -> Arc<dyn RangeIndex>;
+
+struct KindSpec {
+    name: &'static str,
+    /// Fresh index on a formatted allocator.
+    make: MakeFn,
+    /// Reopen from a recovered allocator.
+    reopen: MakeFn,
+    /// Fresh index with an explicit node/granule size (E12); `None`
+    /// for variants whose shape knob is fixed by definition.
+    with_node_size: Option<MakeSizedFn>,
+}
+
+/// The dispatch table. Non-capturing closures coerce to `fn` pointers,
+/// so each row is declarative.
+const KIND_TABLE: &[KindSpec] = &[
+    KindSpec {
+        name: "fptree",
+        make: |a| FpTree::create(a.clone(), FpTreeConfig::default()),
+        reopen: |a| FpTree::recover(a.clone(), FpTreeConfig::default()),
+        with_node_size: Some(|a, e| {
+            FpTree::create(
+                a.clone(),
+                FpTreeConfig {
+                    leaf_entries: e.min(64),
+                    ..FpTreeConfig::default()
+                },
+            )
+        }),
+    },
+    KindSpec {
+        name: "fptree-nofp",
+        make: |a| {
+            FpTree::create(
+                a.clone(),
+                FpTreeConfig {
+                    use_fingerprints: false,
+                    ..FpTreeConfig::default()
+                },
+            )
+        },
+        reopen: |a| {
+            FpTree::recover(
+                a.clone(),
+                FpTreeConfig {
+                    use_fingerprints: false,
+                    ..FpTreeConfig::default()
+                },
+            )
+        },
+        with_node_size: None,
+    },
+    KindSpec {
+        name: "fptree-varkey",
+        make: |a| {
+            FpTree::create(
+                a.clone(),
+                FpTreeConfig {
+                    key_mode: KeyMode::Pointer,
+                    ..FpTreeConfig::default()
+                },
+            )
+        },
+        reopen: |a| {
+            FpTree::recover(
+                a.clone(),
+                FpTreeConfig {
+                    key_mode: KeyMode::Pointer,
+                    ..FpTreeConfig::default()
+                },
+            )
+        },
+        with_node_size: None,
+    },
+    KindSpec {
+        name: "nvtree",
+        make: |a| NvTree::create(a.clone(), NvTreeConfig::default()),
+        reopen: |a| NvTree::recover(a.clone(), NvTreeConfig::default()),
+        with_node_size: Some(|a, e| {
+            NvTree::create(
+                a.clone(),
+                NvTreeConfig {
+                    leaf_entries: e,
+                    ..NvTreeConfig::default()
+                },
+            )
+        }),
+    },
+    KindSpec {
+        name: "wbtree",
+        make: |a| WbTree::create(a.clone(), WbTreeConfig::default()),
+        reopen: |a| WbTree::recover(a.clone(), WbTreeConfig::default()),
+        with_node_size: Some(|a, e| {
+            WbTree::create(
+                a.clone(),
+                WbTreeConfig {
+                    node_entries: e.min(62),
+                    ..WbTreeConfig::default()
+                },
+            )
+        }),
+    },
+    KindSpec {
+        name: "wbtree-noslots",
+        make: |a| {
+            WbTree::create(
+                a.clone(),
+                WbTreeConfig {
+                    use_slot_array: false,
+                    ..WbTreeConfig::default()
+                },
+            )
+        },
+        reopen: |a| {
+            WbTree::recover(
+                a.clone(),
+                WbTreeConfig {
+                    use_slot_array: false,
+                    ..WbTreeConfig::default()
+                },
+            )
+        },
+        with_node_size: None,
+    },
+    KindSpec {
+        name: "bztree",
+        make: |a| BzTree::create(a.clone(), BzTreeConfig::default()),
+        reopen: |a| BzTree::recover(a.clone(), BzTreeConfig::default()),
+        with_node_size: Some(|a, e| {
+            BzTree::create(
+                a.clone(),
+                BzTreeConfig {
+                    node_entries: e,
+                    ..BzTreeConfig::default()
+                },
+            )
+        }),
+    },
+    KindSpec {
+        name: "learned",
+        make: |a| LearnedIndex::create(a.clone(), LearnedConfig::default()),
+        reopen: |a| LearnedIndex::recover(a.clone(), LearnedConfig::default()),
+        // The learned index's "node size" analogue is the ε search
+        // window the trained segments guarantee.
+        with_node_size: Some(|a, e| {
+            LearnedIndex::create(
+                a.clone(),
+                LearnedConfig {
+                    epsilon: (e as u64).clamp(4, 1024),
+                    ..LearnedConfig::default()
+                },
+            )
+        }),
+    },
+];
+
+fn spec(kind: &str) -> &'static KindSpec {
+    KIND_TABLE
+        .iter()
+        .find(|s| s.name == kind)
+        .unwrap_or_else(|| panic!("unknown index kind {kind:?}"))
+}
 
 /// A constructed index with its backing pools/allocators (one per
 /// shard; empty for the DRAM baseline).
@@ -70,46 +240,13 @@ pub fn pool_bytes_for_shard(total_records: u64, shards: usize) -> usize {
 
 /// Fresh inner index of `kind` on an already-formatted allocator.
 fn make_index(kind: &str, alloc: &Arc<PmAllocator>) -> Arc<dyn RangeIndex> {
-    match kind {
-        "fptree" => FpTree::create(alloc.clone(), FpTreeConfig::default()),
-        "fptree-nofp" => FpTree::create(
-            alloc.clone(),
-            FpTreeConfig {
-                use_fingerprints: false,
-                ..FpTreeConfig::default()
-            },
-        ),
-        "fptree-varkey" => FpTree::create(
-            alloc.clone(),
-            FpTreeConfig {
-                key_mode: KeyMode::Pointer,
-                ..FpTreeConfig::default()
-            },
-        ),
-        "nvtree" => NvTree::create(alloc.clone(), NvTreeConfig::default()),
-        "wbtree" => WbTree::create(alloc.clone(), WbTreeConfig::default()),
-        "wbtree-noslots" => WbTree::create(
-            alloc.clone(),
-            WbTreeConfig {
-                use_slot_array: false,
-                ..WbTreeConfig::default()
-            },
-        ),
-        "bztree" => BzTree::create(alloc.clone(), BzTreeConfig::default()),
-        other => panic!("unknown index kind {other:?}"),
-    }
+    (spec(kind).make)(alloc)
 }
 
 /// Recover the inner index of `kind` from an already-recovered
 /// allocator.
 fn reopen_index(kind: &str, alloc: &Arc<PmAllocator>) -> Arc<dyn RangeIndex> {
-    match kind {
-        "fptree" => FpTree::recover(alloc.clone(), FpTreeConfig::default()),
-        "nvtree" => NvTree::recover(alloc.clone(), NvTreeConfig::default()),
-        "wbtree" => WbTree::recover(alloc.clone(), WbTreeConfig::default()),
-        "bztree" => BzTree::recover(alloc.clone(), BzTreeConfig::default()),
-        other => panic!("unknown index kind {other:?}"),
-    }
+    (spec(kind).reopen)(alloc)
 }
 
 /// Build a fresh index of `kind` sized for `records`, on a pool with
@@ -181,37 +318,11 @@ pub fn build_sharded(kind: &str, shards: usize, records: u64, pm: PmConfig) -> B
 pub fn build_with_node_size(kind: &str, records: u64, pm: PmConfig, entries: usize) -> Built {
     let pool = Arc::new(PmPool::new(pool_bytes(records), pm));
     let alloc = PmAllocator::format(pool.clone(), AllocMode::General);
-    let index: Arc<dyn RangeIndex> = match kind {
-        "fptree" => FpTree::create(
-            alloc.clone(),
-            FpTreeConfig {
-                leaf_entries: entries.min(64),
-                ..FpTreeConfig::default()
-            },
-        ),
-        "nvtree" => NvTree::create(
-            alloc.clone(),
-            NvTreeConfig {
-                leaf_entries: entries,
-                ..NvTreeConfig::default()
-            },
-        ),
-        "wbtree" => WbTree::create(
-            alloc.clone(),
-            WbTreeConfig {
-                node_entries: entries.min(62),
-                ..WbTreeConfig::default()
-            },
-        ),
-        "bztree" => BzTree::create(
-            alloc.clone(),
-            BzTreeConfig {
-                node_entries: entries,
-                ..BzTreeConfig::default()
-            },
-        ),
-        other => panic!("unknown index kind {other:?}"),
-    };
+    let s = spec(kind);
+    let with = s
+        .with_node_size
+        .unwrap_or_else(|| panic!("kind {kind:?} has no node-size knob"));
+    let index = with(&alloc, entries);
     Built {
         index,
         pools: vec![pool],
@@ -261,6 +372,34 @@ pub fn recover_sharded(kind: &str, pools: Vec<Arc<PmPool>>, parallel: bool) -> (
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kind_table_covers_every_pm_kind_exactly_once() {
+        for kind in PM_KINDS {
+            assert!(KIND_TABLE.iter().any(|s| s.name == kind), "{kind}");
+        }
+        let mut names: Vec<_> = KIND_TABLE.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), KIND_TABLE.len(), "duplicate table rows");
+    }
+
+    #[test]
+    fn config_variants_build_and_reopen_via_the_table() {
+        for kind in ["fptree-nofp", "fptree-varkey", "wbtree-noslots"] {
+            let b = build(kind, 5_000, PmConfig::real());
+            for k in 0..300u64 {
+                assert!(b.index.insert(k, k + 9), "{kind}");
+            }
+            let pool = b.pool().unwrap().clone();
+            drop(b);
+            pool.crash();
+            let (b2, _) = recover(kind, pool);
+            for k in 0..300u64 {
+                assert_eq!(b2.index.lookup(k), Some(k + 9), "{kind} key {k}");
+            }
+        }
+    }
 
     #[test]
     fn every_kind_builds_and_serves() {

@@ -244,6 +244,51 @@ mod tests {
     }
 
     #[test]
+    fn bimodal_distribution_keeps_both_modes_apart() {
+        // The learned index's op latencies are strongly bimodal: most
+        // ops are a DRAM model walk plus one PM read (~hundreds of ns),
+        // but the op that trips a merge retrains and rewrites the whole
+        // model (~ms). The log-scale buckets must keep the modes apart
+        // without overflow: p50 reports the fast mode, p99/p99.9 the
+        // slow one, and neither mode's value collapses into the other's
+        // bucket range.
+        let mut h = LatencyHistogram::new();
+        for i in 0..98_000u64 {
+            h.record(180 + i % 60); // fast mode: 180–239 ns
+        }
+        for i in 0..2_000u64 {
+            h.record(2_000_000 + (i % 16) * 50_000); // merge mode: 2.0–2.75 ms
+        }
+        assert_eq!(h.len(), 100_000, "samples lost to bucket overflow");
+        let p50 = h.percentile(50.0);
+        assert!((128..=256).contains(&p50), "p50 left the fast mode: {p50}");
+        let p99 = h.percentile(99.0);
+        assert!(
+            (1_600_000..=2_800_000).contains(&p99),
+            "p99 missed the merge mode: {p99}"
+        );
+        assert!(h.percentile(99.9) >= p99);
+        assert_eq!(h.percentile(100.0), 2_750_000, "max must stay exact");
+        // The mean must sit between the modes, pulled up by the tail
+        // (true mean ≈ 47 µs; allow the ±19% bucket error).
+        let mean = h.mean();
+        assert!(
+            (35_000.0..=60_000.0).contains(&mean),
+            "mean lost a mode: {mean}"
+        );
+
+        // Per-thread merge (the pibench --json path merges per-thread
+        // histograms before printing p50/p99) preserves both modes.
+        let mut merged = LatencyHistogram::new();
+        for _ in 0..4 {
+            merged.merge(&h);
+        }
+        assert_eq!(merged.len(), 400_000);
+        assert_eq!(merged.percentile(50.0), p50);
+        assert_eq!(merged.percentile(99.0), p99);
+    }
+
+    #[test]
     fn extreme_values_do_not_overflow() {
         let mut h = LatencyHistogram::new();
         h.record(0);

@@ -67,14 +67,26 @@ use pmem::{
     ResidualPolicy,
 };
 
+use learned::{LearnedConfig, LearnedIndex};
 use nvtree::{NvTree, NvTreeConfig};
 use wbtree::{WbTree, WbTreeConfig};
 
 pub mod mt;
 pub mod sharded;
 
-/// The four persistent indexes the explorer knows how to build.
-pub const PM_KINDS: [&str; 4] = ["fptree", "nvtree", "wbtree", "bztree"];
+/// The five persistent indexes the explorer knows how to build.
+pub const PM_KINDS: [&str; 5] = ["fptree", "nvtree", "wbtree", "bztree", "learned"];
+
+/// Small learned-index shape for crash exploration: tiny ε and delta
+/// capacity so 1k-op sweeps cross many merge/retrain/publish windows,
+/// and small chunks so the model spans multiple chunks + directories.
+fn small_learned_cfg() -> LearnedConfig {
+    LearnedConfig {
+        epsilon: 4,
+        delta_min_cap: 24,
+        chunk_entries: 64,
+    }
+}
 
 /// Build a fresh index with deliberately small nodes so short workloads
 /// exercise splits and other structure-modifying operations (the same
@@ -110,6 +122,7 @@ pub fn build_index(kind: &str, alloc: Arc<PmAllocator>) -> Arc<dyn RangeIndex> {
                 split_threshold_pct: 70,
             },
         ),
+        "learned" => LearnedIndex::create(alloc, small_learned_cfg()),
         other => panic!("unknown PM index kind: {other}"),
     }
 }
@@ -157,6 +170,7 @@ pub fn try_recover_index(
                 split_threshold_pct: 70,
             },
         )?,
+        "learned" => LearnedIndex::try_recover(alloc, small_learned_cfg())?,
         other => panic!("unknown PM index kind: {other}"),
     })
 }

@@ -73,6 +73,7 @@ fn sharded_name(inner: &str) -> &'static str {
         "wbtree" => "sharded-wbtree",
         "wbtree-noslots" => "sharded-wbtree-noslots",
         "bztree" => "sharded-bztree",
+        "learned" => "sharded-learned",
         "dram-btree" => "sharded-dram-btree",
         "map-index" => "sharded-map-index",
         _ => "sharded",

@@ -15,13 +15,14 @@ use dram_index::DramTree;
 use engine::{Shard, ShardedIndex};
 use fptree::{FpTree, FpTreeConfig};
 use index_api::RangeIndex;
+use learned::{LearnedConfig, LearnedIndex};
 use nvtree::{NvTree, NvTreeConfig};
 use pmalloc::{AllocMode, PmAllocator};
 use pmem::{PmConfig, PmPool, ROOT_AREA};
 use wbtree::{WbTree, WbTreeConfig};
 
 /// Index kinds `pmserve` can serve.
-pub const SERVE_KINDS: [&str; 5] = ["fptree", "nvtree", "wbtree", "bztree", "dram"];
+pub const SERVE_KINDS: [&str; 6] = ["fptree", "nvtree", "wbtree", "bztree", "learned", "dram"];
 
 /// A served index with its backing pools/allocators (empty for DRAM).
 pub struct BuiltEnv {
@@ -48,6 +49,7 @@ fn make_index(kind: &str, alloc: &Arc<PmAllocator>) -> Arc<dyn RangeIndex> {
         "nvtree" => NvTree::create(alloc.clone(), NvTreeConfig::default()),
         "wbtree" => WbTree::create(alloc.clone(), WbTreeConfig::default()),
         "bztree" => BzTree::create(alloc.clone(), BzTreeConfig::default()),
+        "learned" => LearnedIndex::create(alloc.clone(), LearnedConfig::default()),
         other => panic!("unknown index kind {other:?} (expected one of {SERVE_KINDS:?})"),
     }
 }
@@ -58,6 +60,7 @@ fn reopen_index(kind: &str, alloc: &Arc<PmAllocator>) -> Arc<dyn RangeIndex> {
         "nvtree" => NvTree::recover(alloc.clone(), NvTreeConfig::default()),
         "wbtree" => WbTree::recover(alloc.clone(), WbTreeConfig::default()),
         "bztree" => BzTree::recover(alloc.clone(), BzTreeConfig::default()),
+        "learned" => LearnedIndex::recover(alloc.clone(), LearnedConfig::default()),
         other => panic!("unknown index kind {other:?}"),
     }
 }

@@ -18,8 +18,9 @@
 //! cargo run --release --example crash_torture [rounds] [--kind <name>] [--seed N]
 //! ```
 //!
-//! `--kind` filters to one of fptree / nvtree / wbtree / bztree
-//! (default: all four). `--seed` offsets the per-round seed stream;
+//! `--kind` filters to one of fptree / nvtree / wbtree / bztree /
+//! learned (default: all five). `--seed` offsets the per-round seed
+//! stream;
 //! on failure the tool prints the exact command that replays the
 //! failing round.
 
@@ -31,12 +32,13 @@ use pm_index_bench::bztree::{BzTree, BzTreeConfig};
 use pm_index_bench::crashpoint::{install_quiet_crash_hook, InflightAllowance, WorkloadOp};
 use pm_index_bench::fptree::{FpTree, FpTreeConfig};
 use pm_index_bench::index_api::RangeIndex;
+use pm_index_bench::learned::{LearnedConfig, LearnedIndex};
 use pm_index_bench::nvtree::{NvTree, NvTreeConfig};
 use pm_index_bench::pmalloc::{AllocMode, PmAllocator};
 use pm_index_bench::pmem::{CrashPointHit, PmConfig, PmPool, ResidualPolicy};
 use pm_index_bench::wbtree::{WbTree, WbTreeConfig};
 
-const KINDS: [&str; 4] = ["fptree", "nvtree", "wbtree", "bztree"];
+const KINDS: [&str; 5] = ["fptree", "nvtree", "wbtree", "bztree", "learned"];
 
 fn create(kind: &str, alloc: Arc<PmAllocator>) -> Arc<dyn RangeIndex> {
     match kind {
@@ -44,6 +46,7 @@ fn create(kind: &str, alloc: Arc<PmAllocator>) -> Arc<dyn RangeIndex> {
         "nvtree" => NvTree::create(alloc, NvTreeConfig::default()),
         "wbtree" => WbTree::create(alloc, WbTreeConfig::default()),
         "bztree" => BzTree::create(alloc, BzTreeConfig::default()),
+        "learned" => LearnedIndex::create(alloc, LearnedConfig::default()),
         _ => unreachable!(),
     }
 }
@@ -54,6 +57,7 @@ fn recover(kind: &str, alloc: Arc<PmAllocator>) -> Arc<dyn RangeIndex> {
         "nvtree" => NvTree::recover(alloc, NvTreeConfig::default()),
         "wbtree" => WbTree::recover(alloc, WbTreeConfig::default()),
         "bztree" => BzTree::recover(alloc, BzTreeConfig::default()),
+        "learned" => LearnedIndex::recover(alloc, LearnedConfig::default()),
         _ => unreachable!(),
     }
 }

@@ -1,11 +1,13 @@
 //! Inspect what an index actually does to the device.
 //!
-//! Two subcommands:
+//! Subcommands:
 //!
-//! * `footprint` (default) — run one operation of each kind against
-//!   FPTree and print the exact PM read/write/flush/fence footprint,
-//!   including redundant flushes — the per-operation cost model the
-//!   paper's analysis sections reason about.
+//! * `footprint` (default) — run one operation of each kind against an
+//!   index (`--kind <name|all>`, default `fptree`) and print the exact
+//!   PM read/write/flush/fence footprint, including redundant flushes —
+//!   the per-operation cost model the paper's analysis sections reason
+//!   about. For `--kind learned` the trained model's shape (segment
+//!   count, ε, delta-log occupancy, merges) is printed alongside.
 //! * `crashpoints` — systematic crash-point exploration: count the
 //!   persistence events of a mixed workload, crash at every boundary,
 //!   recover, and verify the oracle invariant (see `crates/crashpoint`).
@@ -29,6 +31,7 @@
 //!
 //! ```sh
 //! cargo run --release --example pm_inspector
+//! cargo run --release --example pm_inspector -- footprint --kind learned
 //! cargo run --release --example pm_inspector -- crashpoints --kind wbtree --ops 200
 //! cargo run --release --example pm_inspector -- crashpoints --kind all --samples 4 --poison
 //! cargo run --release --example pm_inspector -- mtcrash --kind all --threads 4
@@ -60,17 +63,21 @@
 
 use std::sync::Arc;
 
+use pm_index_bench::bztree::{BzTree, BzTreeConfig};
 use pm_index_bench::crashpoint::{self, ExploreOptions, ResidualConfig, PM_KINDS};
 use pm_index_bench::fptree::{FpTree, FpTreeConfig};
 use pm_index_bench::index_api::RangeIndex;
+use pm_index_bench::learned::{LearnedConfig, LearnedIndex};
+use pm_index_bench::nvtree::{NvTree, NvTreeConfig};
 use pm_index_bench::pibench::report::Table;
 use pm_index_bench::pmalloc::{AllocMode, PmAllocator};
 use pm_index_bench::pmem::{PmConfig, PmPool};
+use pm_index_bench::wbtree::{WbTree, WbTreeConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        None | Some("footprint") => footprint(),
+        None | Some("footprint") => footprint(if args.is_empty() { &[] } else { &args[1..] }),
         Some("crashpoints") => crashpoints(&args[1..]),
         Some("mtcrash") => mtcrash(&args[1..]),
         Some("shardcrash") => shardcrash(&args[1..]),
@@ -84,10 +91,50 @@ fn main() {
     }
 }
 
-fn footprint() {
-    let pool = Arc::new(PmPool::new(64 << 20, PmConfig::real()));
+fn footprint(args: &[String]) {
+    let kind_arg = args
+        .iter()
+        .position(|a| a == "--kind")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "fptree".to_string());
+    let kinds: Vec<&'static str> = if kind_arg == "all" {
+        PM_KINDS.to_vec()
+    } else if let Some(k) = PM_KINDS.iter().find(|k| **k == kind_arg) {
+        vec![*k]
+    } else {
+        eprintln!("--kind expects one of {PM_KINDS:?} or `all`, got {kind_arg:?}");
+        std::process::exit(2);
+    };
+    for kind in kinds {
+        footprint_one(kind);
+    }
+}
+
+/// Default-config instance of `kind`; the learned index additionally
+/// hands back its concrete handle so the model stats stay reachable
+/// behind the type-erased probe loop.
+fn footprint_index(
+    kind: &str,
+    alloc: Arc<PmAllocator>,
+) -> (Arc<dyn RangeIndex>, Option<Arc<LearnedIndex>>) {
+    match kind {
+        "fptree" => (FpTree::create(alloc, FpTreeConfig::default()), None),
+        "nvtree" => (NvTree::create(alloc, NvTreeConfig::default()), None),
+        "wbtree" => (WbTree::create(alloc, WbTreeConfig::default()), None),
+        "bztree" => (BzTree::create(alloc, BzTreeConfig::default()), None),
+        "learned" => {
+            let t = LearnedIndex::create(alloc, LearnedConfig::default());
+            (t.clone(), Some(t))
+        }
+        other => panic!("not a PM index: {other}"),
+    }
+}
+
+fn footprint_one(kind: &'static str) {
+    let pool = Arc::new(PmPool::new(96 << 20, PmConfig::real()));
     let alloc = PmAllocator::format(pool.clone(), AllocMode::General);
-    let tree = FpTree::create(alloc, FpTreeConfig::default());
+    let (tree, learned) = footprint_index(kind, alloc);
     for k in 0..100_000u64 {
         tree.insert(k * 2, k);
     }
@@ -142,14 +189,28 @@ fn footprint() {
         tree.scan(10_000, 100, &mut out);
     });
 
-    println!("FPTree per-operation PM footprint (100k records prefilled):\n");
-    print!("{}", table.to_text());
     println!(
-        "\nNote the fingerprint effect: a miss touches almost no key words, \
-         and the insert's cost is dominated by the record flush + the \
-         atomic bitmap publication (2 fence rounds). A non-zero redundant \
-         clwb count would flag lines flushed while already clean."
+        "{} per-operation PM footprint (100k records prefilled):\n",
+        tree.name()
     );
+    print!("{}", table.to_text());
+    if kind == "fptree" {
+        println!(
+            "\nNote the fingerprint effect: a miss touches almost no key words, \
+             and the insert's cost is dominated by the record flush + the \
+             atomic bitmap publication (2 fence rounds). A non-zero redundant \
+             clwb count would flag lines flushed while already clean."
+        );
+    }
+    if let Some(t) = learned {
+        let s = t.model_stats();
+        println!(
+            "\nlearned model: epoch {}, {} keys in {} segments (ε = {}), \
+             delta log {}/{} entries, {} merges so far",
+            s.epoch, s.model_keys, s.segments, s.epsilon, s.delta_len, s.delta_cap, s.merges
+        );
+    }
+    println!();
 }
 
 fn flag_value(args: &[String], name: &str) -> Option<u64> {

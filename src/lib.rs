@@ -10,7 +10,8 @@
 //! - [`htm`]: software-emulated restricted transactional memory,
 //! - [`index_api`]: the common range-index interface,
 //! - the four evaluated indexes: [`fptree`], [`nvtree`], [`wbtree`],
-//!   [`bztree`], plus the volatile [`dram_index`] baseline,
+//!   [`bztree`], the [`learned`] PGM-style fifth kind, plus the
+//!   volatile [`dram_index`] baseline,
 //! - [`obs`]: low-overhead PM event tracing, time-series sampling, and
 //!   per-site traffic attribution,
 //! - [`pibench`]: the benchmarking framework,
@@ -56,6 +57,7 @@ pub use engine;
 pub use fptree;
 pub use htm;
 pub use index_api;
+pub use learned;
 pub use net;
 pub use nvtree;
 pub use obs;

@@ -11,15 +11,26 @@ use pm_index_bench::bztree::{BzTree, BzTreeConfig};
 use pm_index_bench::dram_index::DramTree;
 use pm_index_bench::fptree::{FpTree, FpTreeConfig};
 use pm_index_bench::index_api::RangeIndex;
+use pm_index_bench::learned::{LearnedConfig, LearnedIndex};
 use pm_index_bench::nvtree::{NvTree, NvTreeConfig};
 use pm_index_bench::pmalloc::{AllocMode, PmAllocator};
 use pm_index_bench::pmem::{PmConfig, PmPool};
 use pm_index_bench::wbtree::{WbTree, WbTreeConfig};
 
 /// PM index kinds.
-pub const PM_KINDS: [&str; 4] = ["fptree", "nvtree", "wbtree", "bztree"];
+pub const PM_KINDS: [&str; 5] = ["fptree", "nvtree", "wbtree", "bztree", "learned"];
 /// All kinds including the volatile baseline.
-pub const ALL_KINDS: [&str; 5] = ["fptree", "nvtree", "wbtree", "bztree", "dram"];
+pub const ALL_KINDS: [&str; 6] = ["fptree", "nvtree", "wbtree", "bztree", "learned", "dram"];
+
+/// Tight learned-index knobs: tiny ε, small delta log, multi-chunk
+/// layouts — so integration workloads exercise many merges.
+fn small_learned_cfg() -> LearnedConfig {
+    LearnedConfig {
+        epsilon: 4,
+        delta_min_cap: 24,
+        chunk_entries: 64,
+    }
+}
 
 /// Small node configs so integration workloads exercise many splits.
 pub fn create_small(kind: &str, alloc: Arc<PmAllocator>) -> Arc<dyn RangeIndex> {
@@ -53,6 +64,7 @@ pub fn create_small(kind: &str, alloc: Arc<PmAllocator>) -> Arc<dyn RangeIndex> 
                 split_threshold_pct: 70,
             },
         ),
+        "learned" => LearnedIndex::create(alloc, small_learned_cfg()),
         other => panic!("not a PM index: {other}"),
     }
 }
@@ -89,6 +101,7 @@ pub fn recover_small(kind: &str, alloc: Arc<PmAllocator>) -> Arc<dyn RangeIndex>
                 split_threshold_pct: 70,
             },
         ),
+        "learned" => LearnedIndex::recover(alloc, small_learned_cfg()),
         other => panic!("not a PM index: {other}"),
     }
 }

@@ -10,7 +10,7 @@ use pm_index_bench::crashpoint::ResidualConfig;
 
 #[test]
 fn four_threads_crash_consistent_on_every_pm_index() {
-    for kind in ["fptree", "nvtree", "wbtree", "bztree"] {
+    for kind in ["fptree", "nvtree", "wbtree", "bztree", "learned"] {
         let opts = MtOptions {
             kind: kind.to_string(),
             threads: 4,

@@ -6,7 +6,7 @@
 //! serving layer, end to end.
 //!
 //! The exhaustive stride-1 sweep lives in `pm_inspector netcrash`; the
-//! tier-1 tests here stride through the boundary space so all four PM
+//! tier-1 tests here stride through the boundary space so all five PM
 //! index kinds stay covered in minutes.
 
 use pm_index_bench::net::{explore_net, NetExploreOptions};
@@ -75,6 +75,14 @@ fn strided_net_sweep_wbtree() {
 #[test]
 fn strided_net_sweep_bztree() {
     run_green(&strided("bztree", 229, 1));
+}
+
+#[test]
+fn strided_net_sweep_learned() {
+    // The default-config learned index logs every write; 150 ops on a
+    // 48-key range stay inside one delta-log generation, so the sweep
+    // crosses append/commit boundaries on both shards' logs.
+    run_green(&strided("learned", 181, 0));
 }
 
 /// A deeper client pipeline and bigger server batches shift more ops

@@ -32,10 +32,11 @@ fn crashed_pool(kind: &str) -> Arc<PmPool> {
 /// The root-area line each index's recovery probes first.
 fn root_slot_line(kind: &str) -> u64 {
     match kind {
-        "fptree" => 64,  // slots 8–13: head, split log, cfg
-        "nvtree" => 128, // slots 16–17: head, cfg
-        "wbtree" => 192, // slots 24–26: root, head, cfg
-        "bztree" => 256, // slots 32–34: PMwCAS area, root, cfg
+        "fptree" => 64,   // slots 8–13: head, split log, cfg
+        "nvtree" => 128,  // slots 16–17: head, cfg
+        "wbtree" => 192,  // slots 24–26: root, head, cfg
+        "bztree" => 256,  // slots 32–34: PMwCAS area, root, cfg
+        "learned" => 320, // slots 40–41: model descriptor, cfg
         other => panic!("not a PM index: {other}"),
     }
 }
