@@ -1,8 +1,9 @@
-//! Run every experiment (E1–E19) and write the collected reports to
+//! Run every experiment (E1–E20) and write the collected reports to
 //! `results/experiments.txt` (and stdout), plus one machine-readable
 //! `results/BENCH_E*.json` per experiment so the perf trajectory can be
 //! tracked across commits. Scale via `PIBENCH_*` environment variables
-//! (see the `bench` crate docs) or `--shards N` / `--only eNN` flags.
+//! (see the `bench` crate docs) or `--shards N` / `--only eNN[,eMM...]`
+//! flags.
 //!
 //! Experiments with unmet environment prerequisites (e.g. E18 when the
 //! `pmserve`/`pmload` binaries are not built) are skipped with a logged
@@ -25,7 +26,7 @@ fn main() {
             }
             "--only" => only = Some(args.next().expect("--only needs an experiment id")),
             other => {
-                eprintln!("unknown flag {other:?} (supported: --shards N, --only eNN)");
+                eprintln!("unknown flag {other:?} (supported: --shards N, --only eNN[,eMM...])");
                 std::process::exit(2);
             }
         }
@@ -34,7 +35,10 @@ fn main() {
     std::fs::create_dir_all("results").expect("create results dir");
     for exp in bench::exp::all() {
         let id = exp.id;
-        if only.as_deref().is_some_and(|o| o != id) {
+        if only
+            .as_deref()
+            .is_some_and(|o| !o.split(',').any(|sel| sel.trim() == id))
+        {
             continue;
         }
         if let Err(reason) = (exp.prereq)(&ctx) {

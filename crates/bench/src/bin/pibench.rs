@@ -7,6 +7,10 @@
 //!         [--dram] [--csv] [--json out.json]
 //! ```
 
+use std::sync::Arc;
+
+use cache::CachedIndex;
+use index_api::RangeIndex;
 use pibench::report::{fmt_bytes, fmt_ns, JsonObj, Table};
 use pibench::{prefill, run, trace, BenchConfig, Distribution, KeySpace, OpMix};
 use pmem::{PmConfig, PmStatsSnapshot};
@@ -15,9 +19,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: pibench --index <fptree|nvtree|wbtree|bztree|learned|dram> \
          [--records N] [--threads N] [--shards N] [--ops N] \
-         [--mix L,I,U,R,S] [--dist uniform|selfsimilar|zipfian] \
+         [--mix L,I,U,R,S] [--dist uniform|selfsimilar|zipfian|storm] \
          [--scan-len N] [--seed N] [--dram] [--csv] [--json PATH] \
-         [--trace PATH] [--sample-ms N]"
+         [--trace PATH] [--sample-ms N] [--cache] [--cache-mb N]"
     );
     std::process::exit(2);
 }
@@ -38,6 +42,9 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut sample_ms: Option<u64> = None;
+    let mut use_cache = false;
+    let mut cache_mb: usize = 64;
+    let mut storm = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -55,6 +62,11 @@ fn main() {
             "--sample-ms" => sample_ms = Some(val().parse().unwrap_or_else(|_| usage())),
             "--dram" => dram_mode = true,
             "--csv" => csv = true,
+            "--cache" => use_cache = true,
+            "--cache-mb" => {
+                cache_mb = val().parse().unwrap_or_else(|_| usage());
+                use_cache = true;
+            }
             "--mix" => {
                 let v = val();
                 let parts: Vec<u8> = v.split(',').filter_map(|p| p.parse().ok()).collect();
@@ -74,6 +86,12 @@ fn main() {
                     "uniform" => Distribution::Uniform,
                     "selfsimilar" => Distribution::self_similar_80_20(),
                     "zipfian" => Distribution::Zipfian { theta: 0.9 },
+                    // Resolved after the loop: the hot-window size
+                    // depends on --records, which may come later.
+                    "storm" => {
+                        storm = true;
+                        Distribution::Uniform
+                    }
                     _ => usage(),
                 }
             }
@@ -88,6 +106,14 @@ fn main() {
         usage();
     }
     mix.validate();
+    if storm {
+        // 90% of accesses hammer a contiguous 1% of the key space —
+        // the hot-key storm the DRAM tier is built for.
+        dist = Distribution::HotStorm {
+            hot: (records / 100).max(1),
+            frac: 0.9,
+        };
+    }
 
     let pm_cfg = if dram_mode {
         PmConfig::dram()
@@ -107,6 +133,14 @@ fn main() {
         load.as_secs_f64(),
         records as f64 / load.as_secs_f64() / 1e6
     );
+    // The DRAM hot-key tier wraps the built index *after* prefill so
+    // the cache starts cold, as a freshly warmed server would.
+    let cached: Option<Arc<CachedIndex>> =
+        use_cache.then(|| Arc::new(CachedIndex::new(built.index.clone(), cache_mb << 20)));
+    let under_test: Arc<dyn RangeIndex> = match &cached {
+        Some(c) => c.clone(),
+        None => built.index.clone(),
+    };
 
     let cfg = BenchConfig {
         threads,
@@ -147,7 +181,7 @@ fn main() {
         None
     };
 
-    let r = run(&*built.index, &ks, &built.pools, &cfg);
+    let r = run(&*under_test, &ks, &built.pools, &cfg);
 
     let series = sampler.map(|s| s.stop());
     if tracing {
@@ -155,7 +189,7 @@ fn main() {
     }
 
     let mut t = Table::new(vec!["metric", "value"]);
-    t.row(vec!["index".to_string(), built.index.name().to_string()]);
+    t.row(vec!["index".to_string(), under_test.name().to_string()]);
     t.row(vec!["threads".to_string(), threads.to_string()]);
     t.row(vec!["shards".to_string(), shards.to_string()]);
     t.row(vec![
@@ -214,7 +248,7 @@ fn main() {
             format!("{} / {}", r.pm.clwb, r.pm.fence),
         ]);
     }
-    let f = built.index.footprint();
+    let f = under_test.footprint();
     t.row(vec![
         "footprint".to_string(),
         format!(
@@ -223,6 +257,22 @@ fn main() {
             fmt_bytes(f.dram_bytes)
         ),
     ]);
+    let cache_counters = cached.as_ref().map(|c| c.counters());
+    if let Some(cc) = &cache_counters {
+        t.row(vec![
+            "cache hits/misses".to_string(),
+            format!(
+                "{} / {} ({:.1}% hit)",
+                cc.hits,
+                cc.misses,
+                cc.hit_rate() * 100.0
+            ),
+        ]);
+        t.row(vec![
+            "cache evict/inval".to_string(),
+            format!("{} / {}", cc.evictions, cc.invalidations),
+        ]);
+    }
     print!("{}", t.to_text());
     if csv {
         print!("{}", t.to_csv());
@@ -262,7 +312,16 @@ fn main() {
         }
     }
     if let Some(path) = json_path {
-        let json = result_json(&index_kind, shards, &cfg, &r, f, &sites, series.as_ref());
+        let json = result_json(
+            &index_kind,
+            shards,
+            &cfg,
+            &r,
+            f,
+            &sites,
+            series.as_ref(),
+            cache_counters.as_ref().map(|cc| (cache_mb, cc)),
+        );
         std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
         eprintln!("json written to {path}");
     }
@@ -272,6 +331,7 @@ fn main() {
 /// latency, media traffic per op, and (when tracing) the per-site
 /// attribution. Built with the shared [`JsonObj`] helpers (no serde
 /// in-tree).
+#[allow(clippy::too_many_arguments)]
 fn result_json(
     index_kind: &str,
     shards: usize,
@@ -280,6 +340,7 @@ fn result_json(
     f: index_api::Footprint,
     sites: &[obs::SiteAgg],
     series: Option<&obs::TimeSeries>,
+    cache: Option<(usize, &cache::CacheCounters)>,
 ) -> String {
     let mut o = JsonObj::new();
     o.str("index", index_kind)
@@ -320,6 +381,18 @@ fn result_json(
     fp.u64("pm_bytes", f.pm_bytes)
         .u64("dram_bytes", f.dram_bytes);
     o.obj("footprint", fp);
+
+    if let Some((mb, cc)) = cache {
+        let mut c = JsonObj::new();
+        c.u64("capacity_mb", mb as u64)
+            .u64("hits", cc.hits)
+            .u64("misses", cc.misses)
+            .f64("hit_rate", cc.hit_rate())
+            .u64("fills", cc.fills)
+            .u64("evictions", cc.evictions)
+            .u64("invalidations", cc.invalidations);
+        o.obj("cache", c);
+    }
 
     if !sites.is_empty() {
         o.raw("sites", &trace::site_table_json(sites));

@@ -1,4 +1,4 @@
-//! The experiments (E1–E19), one function per table/figure.
+//! The experiments (E1–E20), one function per table/figure.
 //!
 //! Every function returns the rendered report so the `e00_run_all`
 //! binary can collect them into a results file; bench targets print to
@@ -699,7 +699,7 @@ fn net_bins() -> Result<(PathBuf, PathBuf), String> {
         dir = d.parent();
     }
     Err(format!(
-        "pmserve/pmload not built next to {} (run `cargo build --release --bins` first)",
+        "pmserve/pmload not built next to {} (run `cargo build --release -p net --bins` first)",
         exe.display()
     ))
 }
@@ -1019,6 +1019,212 @@ pub fn e19(ctx: &ExpCtx) -> ExpReport {
     )
 }
 
+/// The E20 access pattern: 90% lookups / 10% updates, the read-mostly
+/// mix the DRAM hot-key tier targets.
+fn e20_mix() -> OpMix {
+    let m = OpMix {
+        lookup: 90,
+        insert: 0,
+        update: 10,
+        remove: 0,
+        scan: 0,
+    };
+    m.validate();
+    m
+}
+
+/// Throughput of `threads` workers hammering `engine` with the E20 mix
+/// under `sampler` (keys are `index * stride`). Used by the migration
+/// ladder, which needs a *contiguous* hot key range — `pibench::run`'s
+/// [`KeySpace`] permutes keys across the space, which would smear the
+/// hot set over every shard.
+fn e20_drive(
+    engine: &Arc<engine::ShardedIndex>,
+    sampler: &pibench::dist::Sampler,
+    stride: u64,
+    threads: usize,
+    total_ops: u64,
+) -> f64 {
+    use index_api::RangeIndex;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let per_thread = (total_ops / threads as u64).max(1);
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..threads as u64 {
+            let engine = engine.clone();
+            let sampler = *sampler;
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0x20E0 + tid);
+                for i in 0..per_thread {
+                    let key = sampler.sample(&mut rng) * stride;
+                    if i % 10 == 0 {
+                        engine.update(key, i);
+                    } else {
+                        engine.lookup(key);
+                    }
+                }
+            });
+        }
+    });
+    (per_thread * threads as u64) as f64 / t0.elapsed().as_secs_f64() / 1e6
+}
+
+/// E20 — the DRAM hot-key tier and online shard-range migration under
+/// skew. Three parts: (a) cached vs uncached throughput on the same
+/// fptree build under self-similar 80/20 and hot-storm access; (b) tail
+/// latency of the cached storm vs the uncached *uniform* baseline (the
+/// tier's promise: a hot-key storm should not be worse than an even
+/// load); (c) a migration-under-load ladder — throughput before,
+/// during, and after an online split of the hot shard, driven through
+/// [`engine::Migrator`] while workers hammer a contiguous hot range.
+pub fn e20(ctx: &ExpCtx) -> ExpReport {
+    use cache::CachedIndex;
+    use index_api::RangeIndex;
+
+    let threads = ctx.mid_threads();
+    let mix = e20_mix();
+    let mut t = Table::new(vec![
+        "part", "config", "dist", "Mops/s", "p50", "p99", "hit%",
+    ]);
+    let storm = Distribution::HotStorm {
+        hot: (ctx.records / 100).max(1),
+        frac: 0.9,
+    };
+    let dists: [(&str, Distribution); 2] = [
+        ("selfsimilar", Distribution::self_similar_80_20()),
+        ("storm", storm),
+    ];
+
+    // Part A: cached vs uncached under skew (equal threads, same kind).
+    let mut part_a = JsonObj::new();
+    let mut storm_cached_p99 = 0u64;
+    for (dname, dist) in dists {
+        let mut pair = [0.0f64; 2];
+        for cached in [false, true] {
+            let (b, ks) = fresh("fptree", ctx, pm_cfg());
+            let handle = cached.then(|| Arc::new(CachedIndex::new(b.index.clone(), 64 << 20)));
+            let under_test: Arc<dyn RangeIndex> = match &handle {
+                Some(c) => c.clone(),
+                None => b.index.clone(),
+            };
+            let cfg = ctx.point(threads, mix, dist);
+            let r = run(&*under_test, &ks, &b.pools, &cfg);
+            let h = &r.latency[OpKind::Lookup as usize];
+            pair[cached as usize] = r.mops();
+            if cached && dname == "storm" {
+                storm_cached_p99 = h.percentile(99.0);
+            }
+            let hit = handle
+                .map(|c| format!("{:.1}", c.counters().hit_rate() * 100.0))
+                .unwrap_or_else(|| "-".to_string());
+            t.row(vec![
+                "A".to_string(),
+                if cached { "cached-64MiB" } else { "uncached" }.to_string(),
+                dname.to_string(),
+                fmt_mops(r.mops()),
+                fmt_ns(h.percentile(50.0)),
+                fmt_ns(h.percentile(99.0)),
+                hit,
+            ]);
+        }
+        part_a
+            .f64(&format!("{dname}_uncached_mops"), pair[0])
+            .f64(&format!("{dname}_cached_mops"), pair[1])
+            .f64(&format!("{dname}_speedup"), pair[1] / pair[0].max(1e-9));
+    }
+
+    // Part B: the uncached uniform baseline the storm tail is held to.
+    let uniform_p99 = {
+        let (b, ks) = fresh("fptree", ctx, pm_cfg());
+        let cfg = ctx.point(threads, mix, Distribution::Uniform);
+        let r = run(&*b.index, &ks, &b.pools, &cfg);
+        let h = &r.latency[OpKind::Lookup as usize];
+        t.row(vec![
+            "B".to_string(),
+            "uncached".to_string(),
+            "uniform".to_string(),
+            fmt_mops(r.mops()),
+            fmt_ns(h.percentile(50.0)),
+            fmt_ns(h.percentile(99.0)),
+            "-".to_string(),
+        ]);
+        h.percentile(99.0)
+    };
+
+    // Part C: online split of the hot shard while workers hammer a
+    // *contiguous* hot range at the bottom of shard 0.
+    let kind = "fptree";
+    let base_shards = 2usize;
+    let stride = u64::MAX / ctx.records;
+    let per: Vec<engine::Shard> = (0..base_shards)
+        .map(|_| registry::split_shard(kind, ctx.records, base_shards, pm_cfg()))
+        .collect();
+    let eng = engine::ShardedIndex::from_parts(per);
+    for i in 0..ctx.records {
+        eng.insert(i * stride, i);
+    }
+    let hot = (ctx.records / 10).max(2); // hot range: bottom 10%, all in shard 0
+    let sampler = Distribution::HotStorm { hot, frac: 0.9 }.sampler(ctx.records);
+    let window = ctx.ops_per_point;
+    let before = e20_drive(&eng, &sampler, stride, threads, window);
+    let split_at = (hot / 2) * stride; // cleave the hot range itself
+    let mut mig = eng.begin_migration(
+        split_at,
+        registry::split_shard(kind, ctx.records, base_shards, pm_cfg()),
+    );
+    let (during, mig_ms) = std::thread::scope(|s| {
+        let h = s.spawn(move || {
+            let m0 = std::time::Instant::now();
+            mig.run(256);
+            m0.elapsed().as_secs_f64() * 1e3
+        });
+        let d = e20_drive(&eng, &sampler, stride, threads, window);
+        (d, h.join().expect("migration thread"))
+    });
+    let after = e20_drive(&eng, &sampler, stride, threads, window);
+    let routes_after = eng.routes().len();
+    assert_eq!(routes_after, base_shards + 1, "split must add a route");
+    for (phase, mops) in [("before", before), ("during", during), ("after", after)] {
+        t.row(vec![
+            "C".to_string(),
+            format!("migrate-{phase}"),
+            "storm(contig)".to_string(),
+            fmt_mops(mops),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+    }
+    let mut mig_json = JsonObj::new();
+    mig_json
+        .u64("base_shards", base_shards as u64)
+        .u64("hot_keys", hot)
+        .f64("before_mops", before)
+        .f64("during_mops", during)
+        .f64("after_mops", after)
+        .f64("migration_ms", mig_ms)
+        .u64("routes_after", routes_after as u64);
+
+    let mut tails = JsonObj::new();
+    tails
+        .u64("storm_p99_cached_ns", storm_cached_p99)
+        .u64("uniform_p99_uncached_ns", uniform_p99);
+
+    render_extra(
+        &format!(
+            "E20: DRAM hot-key tier + online shard split under skew ({threads} threads, fptree)"
+        ),
+        ctx,
+        &t,
+        &[
+            ("cache_tier".to_string(), part_a.finish()),
+            ("tail".to_string(), tails.finish()),
+            ("migration".to_string(), mig_json.finish()),
+        ],
+    )
+}
+
 /// One registered experiment: id, entry point, and an environment
 /// prerequisite. `e00_run_all` calls `prereq` first and skips the
 /// experiment with the returned reason instead of dying mid-sweep.
@@ -1071,6 +1277,7 @@ pub fn all() -> Vec<Experiment> {
             prereq: e18_prereq,
         },
         plain("e19", e19),
+        plain("e20", e20),
     ]
 }
 
@@ -1141,6 +1348,18 @@ mod tests {
         assert!(r.json.contains("\"learned_model\":{"), "{}", r.json);
         assert!(r.json.contains("\"segments\":"), "{}", r.json);
         assert!(r.json.contains("\"merges\":"), "{}", r.json);
+    }
+
+    #[test]
+    fn e20_smoke_and_json() {
+        let r = e20(&tiny());
+        assert!(r.text.contains("E20"), "{}", r.text);
+        assert!(r.text.contains("cached-64MiB"), "{}", r.text);
+        assert!(r.text.contains("migrate-during"), "{}", r.text);
+        assert!(r.json.contains("\"cache_tier\":{"), "{}", r.json);
+        assert!(r.json.contains("\"storm_speedup\""), "{}", r.json);
+        assert!(r.json.contains("\"migration\":{"), "{}", r.json);
+        assert!(r.json.contains("\"routes_after\":3"), "{}", r.json);
     }
 
     #[test]

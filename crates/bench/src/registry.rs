@@ -313,6 +313,22 @@ pub fn build_sharded(kind: &str, shards: usize, records: u64, pm: PmConfig) -> B
     }
 }
 
+/// A fresh, empty shard of `kind` on its own pool — the destination of
+/// an online shard-range split ([`engine::Migrator`]). Sized like one
+/// shard of a `shards`-way build over `records`.
+pub fn split_shard(kind: &str, records: u64, shards: usize, pm: PmConfig) -> Shard {
+    let pool = Arc::new(PmPool::new(
+        pool_bytes_for_shard(records, shards.max(1)),
+        pm,
+    ));
+    let alloc = PmAllocator::format(pool.clone(), AllocMode::General);
+    Shard {
+        index: make_index(kind, &alloc),
+        pool: Some(pool),
+        alloc: Some(alloc),
+    }
+}
+
 /// Build with a custom node size (E12). `entries` is the leaf/node
 /// record count; each index clamps to its own legal range.
 pub fn build_with_node_size(kind: &str, records: u64, pm: PmConfig, entries: usize) -> Built {

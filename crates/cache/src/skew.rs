@@ -1,0 +1,189 @@
+//! Windowed online skew detection over the u64 keyspace.
+//!
+//! The estimator folds every observed key into a 256-slot histogram by
+//! its top byte (`key >> 56`), so each slot covers a contiguous
+//! `2^56`-wide key range — the same granularity the engine's
+//! multiplicative range partition speaks. Counters are plain relaxed
+//! atomics; when the window fills, every counter is halved (exponential
+//! decay) so the estimate tracks *recent* traffic. The halving races
+//! with concurrent `record()`s, which at worst miscounts a handful of
+//! events — acceptable for a heuristic that only decides when a hot
+//! shard is worth splitting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use index_api::Key;
+
+/// Number of histogram slots (fixed: one per top key byte).
+pub const SLOTS: usize = 256;
+
+/// One observed hot range: `[start, last]` inclusive, with its share of
+/// the current window's traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotRange {
+    pub start: Key,
+    pub last: Key,
+    /// Fraction of windowed traffic that landed in this range, [0, 1].
+    pub share: f64,
+    /// Raw windowed count.
+    pub count: u64,
+}
+
+/// Lock-free windowed top-k hot-range estimator.
+pub struct SkewEstimator {
+    counts: Box<[AtomicU64; SLOTS]>,
+    total: AtomicU64,
+    window: u64,
+}
+
+impl SkewEstimator {
+    /// An estimator that decays once `window` events accumulate.
+    pub fn new(window: u64) -> SkewEstimator {
+        SkewEstimator {
+            counts: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            total: AtomicU64::new(0),
+            window: window.max(SLOTS as u64),
+        }
+    }
+
+    #[inline]
+    fn slot_of(key: Key) -> usize {
+        (key >> 56) as usize
+    }
+
+    /// Key range covered by histogram slot `i` (inclusive bounds).
+    pub fn slot_range(i: usize) -> (Key, Key) {
+        let start = (i as u64) << 56;
+        let last = if i == SLOTS - 1 {
+            u64::MAX
+        } else {
+            (((i as u64) + 1) << 56) - 1
+        };
+        (start, last)
+    }
+
+    /// Observe one access to `key`.
+    #[inline]
+    pub fn record(&self, key: Key) {
+        self.counts[Self::slot_of(key)].fetch_add(1, Ordering::Relaxed);
+        let t = self.total.fetch_add(1, Ordering::Relaxed) + 1;
+        if t >= self.window {
+            self.decay();
+        }
+    }
+
+    /// Halve every counter (concurrent-safe in the racy-but-harmless
+    /// sense; see module docs).
+    fn decay(&self) {
+        let mut kept = 0u64;
+        for c in self.counts.iter() {
+            let v = c.load(Ordering::Relaxed) / 2;
+            c.store(v, Ordering::Relaxed);
+            kept += v;
+        }
+        self.total.store(kept, Ordering::Relaxed);
+    }
+
+    /// Events currently in the window.
+    pub fn window_total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// The `k` hottest ranges, hottest first, skipping empty slots.
+    pub fn top_k(&self, k: usize) -> Vec<HotRange> {
+        let total = self.window_total().max(1);
+        let mut rows: Vec<(usize, u64)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.load(Ordering::Relaxed)))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows.truncate(k);
+        rows.into_iter()
+            .map(|(i, count)| {
+                let (start, last) = Self::slot_range(i);
+                HotRange {
+                    start,
+                    last,
+                    share: count as f64 / total as f64,
+                    count,
+                }
+            })
+            .collect()
+    }
+
+    /// The single hottest range, if any traffic was observed.
+    pub fn hottest(&self) -> Option<HotRange> {
+        self.top_k(1).into_iter().next()
+    }
+
+    /// True when the hottest range absorbs at least `threshold`
+    /// (fraction) of the window — the engine's "worth splitting" gate.
+    pub fn is_skewed(&self, threshold: f64) -> bool {
+        self.hottest().is_some_and(|h| h.share >= threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_traffic_is_not_skewed() {
+        let e = SkewEstimator::new(1 << 16);
+        let mut x = 0x12345u64;
+        for _ in 0..20_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            e.record(x);
+        }
+        assert!(!e.is_skewed(0.3), "{:?}", e.hottest());
+        assert!(e.window_total() > 0);
+    }
+
+    #[test]
+    fn hot_range_is_detected() {
+        let e = SkewEstimator::new(1 << 16);
+        let hot = 7u64 << 56; // everything in slot 7
+        let mut x = 1u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if i % 10 < 9 {
+                e.record(hot + (x % (1 << 20)));
+            } else {
+                e.record(x);
+            }
+        }
+        let h = e.hottest().expect("traffic recorded");
+        assert_eq!(h.start, 7u64 << 56);
+        assert_eq!(h.last, (8u64 << 56) - 1);
+        assert!(h.share > 0.5, "{h:?}");
+        assert!(e.is_skewed(0.5));
+        let top = e.top_k(3);
+        assert!(!top.is_empty() && top[0].count >= top.last().unwrap().count);
+    }
+
+    #[test]
+    fn decay_keeps_window_bounded() {
+        let e = SkewEstimator::new(512);
+        for i in 0..50_000u64 {
+            e.record(i << 32);
+        }
+        assert!(e.window_total() <= 1024, "{}", e.window_total());
+    }
+
+    #[test]
+    fn slot_ranges_tile_the_keyspace() {
+        let mut expect = 0u64;
+        for i in 0..SLOTS {
+            let (s, l) = SkewEstimator::slot_range(i);
+            assert_eq!(s, expect);
+            assert!(l >= s);
+            expect = l.wrapping_add(1);
+        }
+        assert_eq!(expect, 0, "last slot must end at u64::MAX");
+    }
+}

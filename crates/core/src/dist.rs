@@ -20,6 +20,19 @@ pub enum Distribution {
         /// Skew parameter in (0, 1).
         theta: f64,
     },
+    /// Hot-key storm: a fraction `frac` of accesses hammers a
+    /// *contiguous* window of `hot` indexes at the front of the key
+    /// space; the rest are uniform over everything. Unlike
+    /// [`Distribution::SelfSimilar`], the hot set is a single dense
+    /// range, which is what drives one shard (and one cache region)
+    /// hot — the worst case the DRAM tier and online shard-range
+    /// migration are built for.
+    HotStorm {
+        /// Hot-window size in indexes (clamped to the key space).
+        hot: u64,
+        /// Fraction of accesses aimed at the hot window, in (0, 1).
+        frac: f64,
+    },
 }
 
 impl Distribution {
@@ -51,6 +64,15 @@ impl Distribution {
                     zetan,
                     alpha: 1.0 / (1.0 - theta),
                     eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+                }
+            }
+            Distribution::HotStorm { hot, frac } => {
+                assert!(hot > 0, "hot window must be non-empty");
+                assert!(frac > 0.0 && frac < 1.0, "frac must be in (0, 1)");
+                Sampler::HotStorm {
+                    n,
+                    hot: hot.min(n),
+                    frac,
                 }
             }
         }
@@ -95,6 +117,15 @@ pub enum Sampler {
         /// YCSB eta constant.
         eta: f64,
     },
+    /// See [`Distribution::HotStorm`].
+    HotStorm {
+        /// Key-space size.
+        n: u64,
+        /// Hot-window size (≤ n).
+        hot: u64,
+        /// Hot-window access fraction.
+        frac: f64,
+    },
 }
 
 impl Sampler {
@@ -125,6 +156,13 @@ impl Sampler {
                 }
                 let v = (n as f64 * (eta * u - eta + 1.0).powf(alpha)) as u64;
                 v.min(n - 1)
+            }
+            Sampler::HotStorm { n, hot, frac } => {
+                if rng.gen::<f64>() < frac {
+                    rng.gen_range(0..hot)
+                } else {
+                    rng.gen_range(0..n)
+                }
             }
         }
     }
@@ -210,6 +248,28 @@ mod tests {
     }
 
     #[test]
+    fn hot_storm_hammers_the_window() {
+        let n = 10_000u64;
+        let counts = hits(
+            Distribution::HotStorm {
+                hot: 100,
+                frac: 0.9,
+            },
+            n,
+            200_000,
+        );
+        let hot: u64 = counts[..100].iter().sum();
+        let total: u64 = counts.iter().sum();
+        let frac = hot as f64 / total as f64;
+        // 90% aimed + ~1% of the uniform remainder lands inside too.
+        assert!(
+            (0.88..=0.94).contains(&frac),
+            "hot fraction {frac} should be ~0.9"
+        );
+        assert_eq!(total, 200_000);
+    }
+
+    #[test]
     fn poisson_arrivals_average_out() {
         let mut arr = Arrivals::poisson(1_000_000.0); // 1 µs mean gap
         let mut rng = SmallRng::seed_from_u64(7);
@@ -230,6 +290,10 @@ mod tests {
             Distribution::Uniform,
             Distribution::self_similar_80_20(),
             Distribution::Zipfian { theta: 0.5 },
+            Distribution::HotStorm {
+                hot: 1_000,
+                frac: 0.9,
+            },
         ] {
             let s = dist.sampler(7);
             let mut rng = SmallRng::seed_from_u64(1);

@@ -71,6 +71,7 @@ use learned::{LearnedConfig, LearnedIndex};
 use nvtree::{NvTree, NvTreeConfig};
 use wbtree::{WbTree, WbTreeConfig};
 
+pub mod migration;
 pub mod mt;
 pub mod sharded;
 

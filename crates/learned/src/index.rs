@@ -30,17 +30,34 @@
 //! One 32-byte entry per acknowledged mutation: `[key, value, meta,
 //! sum]` with `meta = epoch << 8 | op` and a 64-bit checksum over the
 //! other fields. The entry write + flush *is* the commit point; no
-//! tail counter is maintained. Recovery scans from slot 0 and stops at
-//! the first entry whose checksum or epoch does not match — a torn
-//! in-flight append therefore cleanly truncates to the acknowledged
-//! prefix, and a merge invalidates the whole log by bumping the epoch
-//! (no erase writes needed, which also makes log-chunk reuse safe).
+//! tail counter is maintained.
+//!
+//! Appends are **concurrent**: the delta buffer is range-striped into
+//! [`STRIPES`] mutexes whose bounds follow the trained segments'
+//! quantiles (recomputed at every merge, so stripes track the observed
+//! key distribution), and a writer claims its log slot with a CAS on
+//! the volatile tail counter *inside* its stripe lock. Same-key
+//! entries therefore land in acknowledgement order, while writers in
+//! different stripes append in parallel; only the merge itself takes
+//! the exclusive path.
+//!
+//! Recovery scans the **whole** log capacity and applies every entry
+//! that validates, *skipping* torn holes: with several in-flight
+//! appends a power cut can tear more than one slot, and acknowledged
+//! entries after a hole must still replay. Last-valid-wins per key is
+//! correct because same-key slot order is acknowledgement order (see
+//! above), and a skipped hole can never be followed by a *later* valid
+//! entry for the same key — the later op could only have started after
+//! the hole's op was acknowledged, i.e. durable. A merge invalidates
+//! the whole log by bumping the epoch (no erase writes needed, which
+//! also makes log-chunk reuse safe).
 
 use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use index_api::{Footprint, Key, RangeIndex, Value};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use pmalloc::PmAllocator;
 use pmem::{MediaError, PmPool};
 
@@ -61,6 +78,32 @@ const OP_DEL: u64 = 2;
 const LOG_ENTRY_BYTES: usize = 32;
 const PAIR_BYTES: usize = 16;
 const SEG_REC_WORDS: usize = 4; // first_key, base, slope bits, reserved
+
+/// Delta-buffer stripes (fine-grained append locking).
+const STRIPES: usize = 16;
+
+/// Returned by the striped mutation path when the delta log is full:
+/// the caller must upgrade to the exclusive merge path and retry.
+struct NeedMerge;
+
+/// `STRIPES - 1` ascending split keys. With enough trained segments
+/// the bounds follow segment quantiles (equal *model* mass per
+/// stripe, which tracks the observed key distribution); a young or
+/// tiny model falls back to an even key-space split.
+fn compute_stripe_bounds(segs: &[Segment]) -> Vec<u64> {
+    let mut bounds = Vec::with_capacity(STRIPES - 1);
+    if segs.len() >= 2 * STRIPES {
+        for i in 1..STRIPES {
+            bounds.push(segs[i * segs.len() / STRIPES].first_key);
+        }
+    } else {
+        let step = u64::MAX / STRIPES as u64;
+        for i in 1..STRIPES {
+            bounds.push(step * i as u64);
+        }
+    }
+    bounds
+}
 
 /// SplitMix64 finalizer (log-entry and descriptor checksums).
 fn mix64(mut x: u64) -> u64 {
@@ -173,9 +216,13 @@ struct Core {
     log_dir: u64,
     log_chunks: Vec<u64>,
     log_cap: usize,
-    log_len: usize,
-    /// Un-merged mutations: `Some(v)` = live, `None` = tombstone.
-    delta: BTreeMap<Key, Option<Value>>,
+    /// Next free log slot; CAS-claimed by writers inside a stripe lock.
+    log_len: AtomicUsize,
+    /// Un-merged mutations, range-striped by key: `Some(v)` = live,
+    /// `None` = tombstone. Stripe `i` owns `[bounds[i-1], bounds[i])`
+    /// (open-ended at the extremes).
+    stripes: Vec<Mutex<BTreeMap<Key, Option<Value>>>>,
+    stripe_bounds: Vec<u64>,
     merges: u64,
 }
 
@@ -191,29 +238,43 @@ impl Core {
         self.pool().read_u64(off)
     }
 
-    fn present(&self, key: Key) -> bool {
-        match self.delta.get(&key) {
-            Some(slot) => slot.is_some(),
-            None => pla::find(&self.segs, &self.keys, key, self.cfg.epsilon).is_some(),
-        }
+    fn stripe_of(&self, key: Key) -> usize {
+        self.stripe_bounds.partition_point(|&b| b <= key)
+    }
+
+    fn model_find(&self, key: Key) -> Option<usize> {
+        pla::find(&self.segs, &self.keys, key, self.cfg.epsilon)
     }
 
     fn get(&self, key: Key) -> Option<Value> {
-        match self.delta.get(&key) {
-            Some(&slot) => slot,
-            None => {
-                pla::find(&self.segs, &self.keys, key, self.cfg.epsilon).map(|r| self.value_at(r))
-            }
+        let shadow = self.stripes[self.stripe_of(key)].lock().get(&key).copied();
+        match shadow {
+            Some(slot) => slot,
+            None => self.model_find(key).map(|r| self.value_at(r)),
         }
     }
 
-    /// Append one durable log entry; the flush is the commit point.
-    fn append_log(&mut self, op: u64, key: Key, value: Value) {
+    fn delta_len(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// CAS-claim the next free log slot; full log means the caller
+    /// must merge. Called with the key's stripe lock held, which makes
+    /// same-key slot order acknowledgement order.
+    fn claim_slot(&self) -> Result<usize, NeedMerge> {
+        self.log_len
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |l| {
+                (l < self.log_cap).then_some(l + 1)
+            })
+            .map_err(|_| NeedMerge)
+    }
+
+    /// Write + flush one log entry into its claimed `slot`; the flush
+    /// is the commit point for the mutation.
+    fn append_entry(&self, slot: usize, op: u64, key: Key, value: Value) {
         let _site = obs::site("learned_delta_append");
-        debug_assert!(self.log_len < self.log_cap);
         let ce = self.cfg.chunk_entries;
-        let i = self.log_len;
-        let off = self.log_chunks[i / ce] + ((i % ce) * LOG_ENTRY_BYTES) as u64;
+        let off = self.log_chunks[slot / ce] + ((slot % ce) * LOG_ENTRY_BYTES) as u64;
         let meta = self.epoch << 8 | op;
         let mut buf = [0u8; LOG_ENTRY_BYTES];
         buf[0..8].copy_from_slice(&key.to_le_bytes());
@@ -222,37 +283,51 @@ impl Core {
         buf[24..32].copy_from_slice(&entry_sum(key, value, meta).to_le_bytes());
         self.pool().write_bytes(off, &buf);
         self.pool().persist(off, LOG_ENTRY_BYTES);
-        self.log_len += 1;
     }
 
-    fn insert(&mut self, key: Key, value: Value) -> bool {
-        if self.present(key) {
-            return false;
+    fn try_insert(&self, key: Key, value: Value) -> Result<bool, NeedMerge> {
+        let mut stripe = self.stripes[self.stripe_of(key)].lock();
+        let present = match stripe.get(&key) {
+            Some(slot) => slot.is_some(),
+            None => self.model_find(key).is_some(),
+        };
+        if present {
+            return Ok(false);
         }
-        self.append_log(OP_PUT, key, value);
-        self.delta.insert(key, Some(value));
-        self.maybe_merge();
-        true
+        let slot = self.claim_slot()?;
+        self.append_entry(slot, OP_PUT, key, value);
+        stripe.insert(key, Some(value));
+        Ok(true)
     }
 
-    fn update(&mut self, key: Key, value: Value) -> bool {
-        if !self.present(key) {
-            return false;
+    fn try_update(&self, key: Key, value: Value) -> Result<bool, NeedMerge> {
+        let mut stripe = self.stripes[self.stripe_of(key)].lock();
+        let present = match stripe.get(&key) {
+            Some(slot) => slot.is_some(),
+            None => self.model_find(key).is_some(),
+        };
+        if !present {
+            return Ok(false);
         }
-        self.append_log(OP_PUT, key, value);
-        self.delta.insert(key, Some(value));
-        self.maybe_merge();
-        true
+        let slot = self.claim_slot()?;
+        self.append_entry(slot, OP_PUT, key, value);
+        stripe.insert(key, Some(value));
+        Ok(true)
     }
 
-    fn remove(&mut self, key: Key) -> bool {
-        if !self.present(key) {
-            return false;
+    fn try_remove(&self, key: Key) -> Result<bool, NeedMerge> {
+        let mut stripe = self.stripes[self.stripe_of(key)].lock();
+        let present = match stripe.get(&key) {
+            Some(slot) => slot.is_some(),
+            None => self.model_find(key).is_some(),
+        };
+        if !present {
+            return Ok(false);
         }
-        self.append_log(OP_DEL, key, 0);
-        self.delta.insert(key, None);
-        self.maybe_merge();
-        true
+        let slot = self.claim_slot()?;
+        self.append_entry(slot, OP_DEL, key, 0);
+        stripe.insert(key, None);
+        Ok(true)
     }
 
     fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) -> usize {
@@ -260,11 +335,19 @@ impl Core {
         if count == 0 {
             return 0;
         }
+        // Snapshot the striped delta at-or-after `start`. Stripes
+        // cover ascending disjoint ranges, so visiting them in order
+        // yields a sorted view.
+        let mut delta: Vec<(Key, Option<Value>)> = Vec::new();
+        for s in self.stripe_of(start)..self.stripes.len() {
+            let stripe = self.stripes[s].lock();
+            delta.extend(stripe.range(start..).map(|(&k, &v)| (k, v)));
+        }
         let mut r = pla::lower_bound(&self.segs, &self.keys, start, self.cfg.epsilon);
-        let mut di = self.delta.range(start..).peekable();
+        let mut di = delta.iter().peekable();
         while out.len() < count {
             let mk = self.keys.get(r).copied();
-            let dk = di.peek().map(|(&k, _)| k);
+            let dk = di.peek().map(|&&(k, _)| k);
             match (mk, dk) {
                 (None, None) => break,
                 (Some(k), None) => {
@@ -272,21 +355,21 @@ impl Core {
                     r += 1;
                 }
                 (None, Some(_)) => {
-                    let (&k, &v) = di.next().unwrap();
+                    let &(k, v) = di.next().unwrap();
                     if let Some(v) = v {
                         out.push((k, v));
                     }
                 }
                 (Some(mkey), Some(dkey)) => {
                     if dkey < mkey {
-                        let (&k, &v) = di.next().unwrap();
+                        let &(k, v) = di.next().unwrap();
                         if let Some(v) = v {
                             out.push((k, v));
                         }
                     } else if dkey == mkey {
                         // Delta shadows the model record (update or
                         // tombstone).
-                        let (&k, &v) = di.next().unwrap();
+                        let &(k, v) = di.next().unwrap();
                         r += 1;
                         if let Some(v) = v {
                             out.push((k, v));
@@ -311,10 +394,14 @@ impl Core {
         (self.cfg.delta_min_cap.max(n / 4)).div_ceil(ce) * ce
     }
 
-    fn maybe_merge(&mut self) {
-        if self.log_len >= self.log_cap {
-            self.merge();
+    /// Drain every stripe into one sorted map (exclusive access only:
+    /// `&mut self` means the enclosing `RwLock` is held for write).
+    fn collect_delta(&mut self) -> BTreeMap<Key, Option<Value>> {
+        let mut delta = BTreeMap::new();
+        for stripe in &mut self.stripes {
+            delta.append(stripe.get_mut());
         }
+        delta
     }
 
     /// Write `words` to a fresh allocation and flush it.
@@ -380,11 +467,13 @@ impl Core {
     fn merge(&mut self) {
         let _site = obs::site("learned_merge");
         // 1. Merge the immutable run with the delta buffer (values read
-        //    back from PM; keys come from the DRAM mirror).
-        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.keys.len() + self.delta.len());
+        //    back from PM; keys come from the DRAM mirror). Draining
+        //    the stripes here empties them for the next generation.
+        let delta = self.collect_delta();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.keys.len() + delta.len());
         {
             let mut r = 0usize;
-            let mut di = self.delta.iter().peekable();
+            let mut di = delta.iter().peekable();
             loop {
                 let mk = self.keys.get(r).copied();
                 let dk = di.peek().map(|(&k, _)| k);
@@ -482,8 +571,8 @@ impl Core {
         self.log_dir = log_dir;
         self.log_chunks = log_chunks;
         self.log_cap = new_cap;
-        self.log_len = 0;
-        self.delta.clear();
+        self.log_len.store(0, Ordering::SeqCst);
+        self.stripe_bounds = compute_stripe_bounds(&self.segs);
         self.merges += 1;
         // 6. Retire the old generation (crash-safe: recovery GC redoes
         //    any free we don't reach).
@@ -515,7 +604,7 @@ impl Core {
             model_keys: self.keys.len() as u64,
             segments: self.segs.len() as u64,
             epsilon: self.cfg.epsilon,
-            delta_len: self.delta.len() as u64,
+            delta_len: self.delta_len() as u64,
             delta_cap: self.log_cap as u64,
             merges: self.merges,
         }
@@ -523,7 +612,10 @@ impl Core {
 }
 
 /// PGM-style learned range index on PM (see module docs). Reads share
-/// a lock; mutations serialize, like the paper's single-writer trees.
+/// the outer lock; mutations also run under the *shared* side and
+/// serialize only per key-range stripe (CAS-claimed log slots), so
+/// appends to disjoint regions proceed in parallel. Only a merge — a
+/// whole-model retrain — takes the exclusive side.
 pub struct LearnedIndex {
     core: RwLock<Core>,
 }
@@ -547,8 +639,9 @@ impl LearnedIndex {
             log_dir: 0,
             log_chunks: Vec::new(),
             log_cap: 0,
-            log_len: 0,
-            delta: BTreeMap::new(),
+            log_len: AtomicUsize::new(0),
+            stripes: (0..STRIPES).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            stripe_bounds: compute_stripe_bounds(&[]),
             merges: 0,
         };
         core.log_cap = core.desired_cap(0);
@@ -652,7 +745,13 @@ impl LearnedIndex {
                 });
             }
         }
-        // Delta log: replay the acknowledged prefix.
+        // Delta log: replay every acknowledged entry. The scan covers
+        // the full capacity and *skips* invalid slots rather than
+        // stopping — concurrent striped appends mean a power cut can
+        // tear several in-flight slots at once, and the acknowledged
+        // entries beyond a hole must still be applied. Last-valid-wins
+        // per key is safe because same-key slots are claimed in
+        // acknowledgement order under the stripe lock.
         let log_chunks = read_dir(desc.log_dir, desc.log_chunks, "learned log directory")?;
         for &off in &log_chunks {
             pool.check_readable(off, ce * LOG_ENTRY_BYTES)
@@ -672,7 +771,7 @@ impl LearnedIndex {
                 || !(op == OP_PUT || op == OP_DEL)
                 || sum != entry_sum(key, value, meta)
             {
-                break;
+                continue; // torn hole or stale-epoch garbage
             }
             delta.insert(key, (op == OP_PUT).then_some(value));
             log_len = i + 1;
@@ -700,6 +799,15 @@ impl LearnedIndex {
         for off in stale {
             alloc.free(off);
         }
+        // Re-stripe the recovered delta with the same bounds the live
+        // index would be using for this generation's segments.
+        let stripe_bounds = compute_stripe_bounds(&segs);
+        let mut stripes: Vec<Mutex<BTreeMap<Key, Option<Value>>>> =
+            (0..STRIPES).map(|_| Mutex::new(BTreeMap::new())).collect();
+        for (k, v) in delta {
+            let s = stripe_bounds.partition_point(|&b| b <= k);
+            stripes[s].get_mut().insert(k, v);
+        }
         let mut core = Core {
             alloc,
             cfg,
@@ -714,13 +822,14 @@ impl LearnedIndex {
             log_dir: desc.log_dir,
             log_chunks,
             log_cap,
-            log_len,
-            delta,
+            log_len: AtomicUsize::new(log_len),
+            stripes,
+            stripe_bounds,
             merges: 0,
         };
         // The crash may have landed after the log filled but before the
         // merge published: finish it now so the next append has room.
-        if core.log_len >= core.log_cap {
+        if core.log_len.load(Ordering::SeqCst) >= core.log_cap {
             core.merge();
         }
         Ok(Arc::new(LearnedIndex {
@@ -732,12 +841,27 @@ impl LearnedIndex {
     pub fn model_stats(&self) -> ModelStats {
         self.core.read().stats()
     }
+
+    /// Run a striped mutation under the shared lock; when the log is
+    /// full, upgrade to the exclusive path, merge, and retry.
+    fn mutate(&self, f: impl Fn(&Core) -> Result<bool, NeedMerge>) -> bool {
+        loop {
+            if let Ok(done) = f(&self.core.read()) {
+                return done;
+            }
+            let mut core = self.core.write();
+            // Another writer may have merged while we waited.
+            if core.log_len.load(Ordering::SeqCst) >= core.log_cap {
+                core.merge();
+            }
+        }
+    }
 }
 
 impl RangeIndex for LearnedIndex {
     fn insert(&self, key: Key, value: Value) -> bool {
         let _site = obs::site("learned_insert");
-        self.core.write().insert(key, value)
+        self.mutate(|core| core.try_insert(key, value))
     }
 
     fn lookup(&self, key: Key) -> Option<Value> {
@@ -747,12 +871,12 @@ impl RangeIndex for LearnedIndex {
 
     fn update(&self, key: Key, value: Value) -> bool {
         let _site = obs::site("learned_update");
-        self.core.write().update(key, value)
+        self.mutate(|core| core.try_update(key, value))
     }
 
     fn remove(&self, key: Key) -> bool {
         let _site = obs::site("learned_remove");
-        self.core.write().remove(key)
+        self.mutate(|core| core.try_remove(key))
     }
 
     fn scan(&self, start: Key, count: usize, out: &mut Vec<(Key, Value)>) -> usize {
@@ -770,7 +894,7 @@ impl RangeIndex for LearnedIndex {
             pm_bytes: core.alloc.live_bytes(),
             dram_bytes: (core.keys.len() * 8
                 + core.segs.len() * std::mem::size_of::<Segment>()
-                + core.delta.len() * 48) as u64,
+                + core.delta_len() * 48) as u64,
         }
     }
 }

@@ -224,6 +224,52 @@ mod tests {
     }
 
     #[test]
+    fn striped_writers_race_merges_and_recover() {
+        let cfg = small_cfg();
+        let pool = Arc::new(PmPool::new(64 << 20, PmConfig::real()));
+        let alloc = PmAllocator::format(pool.clone(), AllocMode::General);
+        let t = LearnedIndex::create(alloc, cfg);
+        // Keys spread across the whole key space so concurrent appends
+        // land in different stripes; the tiny delta cap forces many
+        // merges (exclusive path) while the appends race (shared path).
+        let key = |tid: u64, i: u64| (i * 8 + tid) * (u64::MAX / 20_000);
+        std::thread::scope(|s| {
+            for tid in 0..8u64 {
+                let t = &t;
+                s.spawn(move || {
+                    for i in 0..1_500u64 {
+                        let k = key(tid, i);
+                        assert!(t.insert(k, tid));
+                        if i % 3 == 0 {
+                            assert!(t.update(k, tid + 100));
+                        }
+                        if i % 5 == 0 {
+                            assert!(t.remove(k));
+                        }
+                    }
+                });
+            }
+        });
+        assert!(t.model_stats().merges > 0, "merges must fire under load");
+        drop(t);
+        pool.crash();
+        let alloc = PmAllocator::recover(pool, AllocMode::General);
+        let t = LearnedIndex::recover(alloc, cfg);
+        for tid in 0..8u64 {
+            for i in 0..1_500u64 {
+                let want = if i % 5 == 0 {
+                    None
+                } else if i % 3 == 0 {
+                    Some(tid + 100)
+                } else {
+                    Some(tid)
+                };
+                assert_eq!(t.lookup(key(tid, i)), want, "tid {tid} i {i}");
+            }
+        }
+    }
+
+    #[test]
     fn footprint_reports_dram_mirrors() {
         let (t, _pool) = fresh(8, small_cfg());
         for k in 0..500u64 {

@@ -49,6 +49,7 @@ fn usage() -> ! {
         "usage: pmserve [--index KIND] [--shards N] [--records N] [--addr HOST:PORT]\n\
          \x20               [--workers N] [--batch-max N] [--window N] [--max-conns N]\n\
          \x20               [--pm real|optane] [--sample-ms N] [--selfcheck] [--trace]\n\
+         \x20               [--cache] [--cache-mb N]\n\
          \x20 KIND one of {SERVE_KINDS:?}"
     );
     std::process::exit(2)
@@ -65,6 +66,8 @@ fn main() {
     let mut sample_ms: Option<u64> = None;
     let mut selfcheck = false;
     let mut trace = false;
+    let mut use_cache = false;
+    let mut cache_mb = 64usize;
 
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -88,6 +91,11 @@ fn main() {
             "--sample-ms" => sample_ms = Some(val().parse().unwrap_or_else(|_| usage())),
             "--selfcheck" => selfcheck = true,
             "--trace" => trace = true,
+            "--cache" => use_cache = true,
+            "--cache-mb" => {
+                cache_mb = val().parse().unwrap_or_else(|_| usage());
+                use_cache = true;
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -109,7 +117,27 @@ fn main() {
         p.reset_stats();
     }
 
-    let server = Server::start(env.index.clone(), env.pools.clone(), cfg)
+    // With --cache the served index is wrapped in the DRAM hot-key tier;
+    // `env.index` stays raw so the selfcheck below compares persistent
+    // state, not cache contents.
+    let cached = use_cache.then(|| {
+        Arc::new(cache::CachedIndex::new(
+            env.index.clone() as Arc<dyn RangeIndex>,
+            cache_mb << 20,
+        ))
+    });
+    let served: Arc<dyn RangeIndex> = match &cached {
+        Some(c) => c.clone(),
+        None => env.index.clone(),
+    };
+    if let Some(c) = &cached {
+        eprintln!(
+            "pmserve: cache tier on ({cache_mb} MiB, {} slots)",
+            c.cache().capacity()
+        );
+    }
+
+    let server = Server::start(served, env.pools.clone(), cfg)
         .unwrap_or_else(|e| panic!("bind failed: {e}"));
     let handle = server.handle();
     // Drivers wait for this exact line before connecting.
@@ -251,6 +279,25 @@ fn main() {
             st.fence_ns.load(Ordering::Relaxed) / 1_000_000
         ),
     ]);
+    if let Some(c) = &cached {
+        let cc = c.counters();
+        t.row(vec![
+            "cache".to_string(),
+            format!(
+                "{} hits / {} misses ({:.1}% hit rate)",
+                cc.hits,
+                cc.misses,
+                cc.hit_rate() * 100.0
+            ),
+        ]);
+        t.row(vec![
+            "  churn".to_string(),
+            format!(
+                "{} fills, {} evictions, {} invalidations",
+                cc.fills, cc.evictions, cc.invalidations
+            ),
+        ]);
+    }
     t.row(vec![
         "halted".to_string(),
         if report.halted {

@@ -72,6 +72,11 @@ pub struct NetExploreOptions {
     pub batch_max: usize,
     /// Client pipelining window (how deep the unacked suffix can get).
     pub window: usize,
+    /// DRAM hot-key cache in front of the served index, in MiB (0 = off).
+    /// Recovery and verification always read the raw PM pools, so a
+    /// green sweep with the cache on proves the tier never serves an
+    /// acked write that is not durable underneath it.
+    pub cache_mb: usize,
 }
 
 impl Default for NetExploreOptions {
@@ -88,6 +93,7 @@ impl Default for NetExploreOptions {
             armed_shard: 0,
             batch_max: 8,
             window: 32,
+            cache_mb: 0,
         }
     }
 }
@@ -151,6 +157,20 @@ fn fresh_env(opts: &NetExploreOptions) -> Env {
     let index = ShardedIndex::from_parts(parts);
     let pools = index.pools();
     Env { index, pools }
+}
+
+/// The index the server should front: raw, or wrapped in the DRAM
+/// hot-key tier when `cache_mb > 0`. Only the serving path goes through
+/// the cache — crash images and recovery stay on the raw pools.
+fn served_index(opts: &NetExploreOptions, env: &Env) -> Arc<dyn index_api::RangeIndex> {
+    if opts.cache_mb > 0 {
+        Arc::new(cache::CachedIndex::new(
+            env.index.clone() as Arc<dyn index_api::RangeIndex>,
+            opts.cache_mb << 20,
+        ))
+    } else {
+        env.index.clone()
+    }
 }
 
 fn server_cfg(opts: &NetExploreOptions) -> ServerConfig {
@@ -225,7 +245,7 @@ fn armed_run(
 ) -> std::io::Result<(RunOutcome, Vec<Arc<PmPool>>)> {
     let env = fresh_env(opts);
     let server = Server::start(
-        env.index.clone() as Arc<dyn index_api::RangeIndex>,
+        served_index(opts, &env),
         env.pools.clone(),
         server_cfg(opts),
     )?;
@@ -430,7 +450,7 @@ pub fn explore_net(opts: &NetExploreOptions) -> std::io::Result<NetExploreSummar
 fn probe_pool_events(opts: &NetExploreOptions, ops: &[WorkloadOp]) -> std::io::Result<u64> {
     let env = fresh_env(opts);
     let server = Server::start(
-        env.index.clone() as Arc<dyn index_api::RangeIndex>,
+        served_index(opts, &env),
         env.pools.clone(),
         server_cfg(opts),
     )?;
@@ -465,6 +485,28 @@ mod tests {
             ops: 120,
             key_range: 48,
             stride: 211,
+            ..NetExploreOptions::default()
+        };
+        let summary = explore_net(&opts).expect("sweep IO");
+        assert!(
+            summary.is_green(),
+            "{:?}",
+            &summary.failures[..summary.failures.len().min(3)]
+        );
+        assert!(summary.crashes_fired > 0, "no boundary tripped");
+    }
+
+    #[test]
+    fn strided_net_sweep_is_green_with_cache_tier() {
+        // Same sweep through the DRAM hot-key tier: acked-implies-durable
+        // must hold even though lookups may be served from DRAM, because
+        // every mutation is write-through (PM first, ack after).
+        let opts = NetExploreOptions {
+            kind: "fptree".into(),
+            ops: 120,
+            key_range: 48,
+            stride: 223,
+            cache_mb: 4,
             ..NetExploreOptions::default()
         };
         let summary = explore_net(&opts).expect("sweep IO");

@@ -27,7 +27,19 @@
 //!   durability, arm one shard's pool at every persistence boundary,
 //!   and verify after each cut that every **acked** write survives
 //!   recovery and the unacked pipeline reconciles as a clean prefix
-//!   (at most one torn in-flight op).
+//!   (at most one torn in-flight op). `--cache [--cache-mb N]` fronts
+//!   the served index with the DRAM hot-key tier; recovery still reads
+//!   the raw pools, so a green sweep proves the cache never serves an
+//!   acked-but-lost write.
+//! * `migcrash` — crash-mid-migration consistency: run the workload
+//!   over a sharded engine while a shard-range migration (copy →
+//!   publish → GC) is in flight, arm each pool at every persistence
+//!   boundary, and verify the routing table is never half-copied and
+//!   every acked write survives whichever side of the publish the cut
+//!   landed on.
+//! * `cachestat` — run a skewed read-mostly workload through the DRAM
+//!   hot-key tier over an FPTree and print hit/miss/eviction counters;
+//!   exits non-zero if the cache never hits (CI smoke for the tier).
 //!
 //! ```sh
 //! cargo run --release --example pm_inspector
@@ -37,6 +49,9 @@
 //! cargo run --release --example pm_inspector -- mtcrash --kind all --threads 4
 //! cargo run --release --example pm_inspector -- shardcrash --kind all --shards 4 --stride 17
 //! cargo run --release --example pm_inspector -- netcrash --kind all --ops 1000 --stride 1
+//! cargo run --release --example pm_inspector -- netcrash --kind fptree --stride 101 --cache
+//! cargo run --release --example pm_inspector -- migcrash --kind wbtree --stride 131
+//! cargo run --release --example pm_inspector -- cachestat --records 50000 --cache-mb 16
 //! ```
 //!
 //! `crashpoints` flags: `--kind <name|all>`, `--ops N`, `--key-range N`,
@@ -56,7 +71,14 @@
 //!
 //! `netcrash` flags: `--kind <name|all>`, `--shards N`, `--ops N`,
 //! `--key-range N`, `--seed N`, `--stride N`, `--max-boundaries N`,
-//! `--batch-max N`, `--window N` (each shard's pool is armed in turn).
+//! `--batch-max N`, `--window N`, `--cache`, `--cache-mb N` (each
+//! shard's pool is armed in turn).
+//!
+//! `migcrash` flags: `--kind <name|all>`, `--shards N` (base shards),
+//! `--ops N`, `--key-range N`, `--seed N`, `--stride N`,
+//! `--max-boundaries N` (per armed pool).
+//!
+//! `cachestat` flags: `--records N`, `--ops N`, `--cache-mb N`.
 //!
 //! Every run prints its seed; any failure is exactly reproducible by
 //! re-running with the printed flags.
@@ -82,9 +104,12 @@ fn main() {
         Some("mtcrash") => mtcrash(&args[1..]),
         Some("shardcrash") => shardcrash(&args[1..]),
         Some("netcrash") => netcrash(&args[1..]),
+        Some("migcrash") => migcrash(&args[1..]),
+        Some("cachestat") => cachestat(&args[1..]),
         Some(other) => {
             eprintln!(
-                "unknown subcommand {other:?}; expected `footprint`, `crashpoints`, `mtcrash`, `shardcrash` or `netcrash`"
+                "unknown subcommand {other:?}; expected `footprint`, `crashpoints`, `mtcrash`, \
+                 `shardcrash`, `netcrash`, `migcrash` or `cachestat`"
             );
             std::process::exit(2);
         }
@@ -550,9 +575,15 @@ fn netcrash(args: &[String]) {
     let max_boundaries = flag_value(args, "--max-boundaries").unwrap_or(0);
     let batch_max = flag_value(args, "--batch-max").unwrap_or(8) as usize;
     let window = flag_value(args, "--window").unwrap_or(32) as usize;
+    let cache_mb = match flag_value(args, "--cache-mb") {
+        Some(mb) => mb as usize,
+        None if args.iter().any(|a| a == "--cache") => 4,
+        None => 0,
+    };
     println!(
         "netcrash: seed {seed}, {shards} shards behind one TCP server \
-         (batch-max {batch_max}, window {window}), arming each shard in turn"
+         (batch-max {batch_max}, window {window}, cache {cache_mb} MiB), \
+         arming each shard in turn"
     );
 
     let mut table = Table::new(vec![
@@ -580,6 +611,7 @@ fn netcrash(args: &[String]) {
                 armed_shard,
                 batch_max,
                 window,
+                cache_mb,
                 ..pm_index_bench::net::NetExploreOptions::default()
             };
             let s = pm_index_bench::net::explore_net(&opts).unwrap_or_else(|e| {
@@ -619,5 +651,160 @@ fn netcrash(args: &[String]) {
         "\nRESULT: every boundary cut behind the serving layer recovered \
          correctly — every acked write survives, the unacked pipeline \
          reconciles as a clean prefix, nothing is torn."
+    );
+}
+
+fn migcrash(args: &[String]) {
+    let kinds = parse_kinds(args);
+    let base_shards = flag_value(args, "--shards").unwrap_or(2).max(1) as usize;
+    let ops = flag_value(args, "--ops").unwrap_or(400);
+    let key_range = flag_value(args, "--key-range").unwrap_or(96);
+    let seed = flag_value(args, "--seed").unwrap_or(1);
+    let stride = flag_value(args, "--stride").unwrap_or(1);
+    let max_boundaries = flag_value(args, "--max-boundaries").unwrap_or(0);
+    println!(
+        "migcrash: seed {seed}, {base_shards} base shards + 1 migration \
+         destination, arming each pool in turn"
+    );
+
+    let mut table = Table::new(vec![
+        "index",
+        "probe events",
+        "boundaries",
+        "crashes",
+        "preparing rec",
+        "claimed rec",
+        "failures",
+    ]);
+    let mut any_failures = false;
+    for kind in kinds {
+        let opts = crashpoint::migration::MigrationExploreOptions {
+            kind: kind.to_string(),
+            base_shards,
+            ops,
+            key_range,
+            seed,
+            stride,
+            max_boundaries,
+            ..crashpoint::migration::MigrationExploreOptions::default()
+        };
+        let s = crashpoint::migration::explore_migration(&opts);
+        for f in &s.failures {
+            any_failures = true;
+            println!(
+                "  {kind} FAIL: pool {} armed, boundary {}: {}",
+                f.pool, f.boundary, f.detail
+            );
+        }
+        table.row(vec![
+            s.kind.clone(),
+            s.probe_events
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join("/"),
+            s.boundaries_tested.to_string(),
+            s.crashes_fired.to_string(),
+            s.preparing_recoveries.to_string(),
+            s.claimed_recoveries.to_string(),
+            s.failures.len().to_string(),
+        ]);
+    }
+    println!("\nCrash-mid-migration consistency:\n");
+    print!("{}", table.to_text());
+    if any_failures {
+        println!(
+            "\nRESULT: migration violations found (see FAIL lines above). \
+             Reproduce with --seed {seed}."
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "\nRESULT: every mid-migration cut recovered correctly — the \
+         routing table is never half-copied, acked writes survive on \
+         whichever side of the publish the cut landed, and recovery is \
+         idempotent."
+    );
+}
+
+fn cachestat(args: &[String]) {
+    use pm_index_bench::cache::CachedIndex;
+    use pm_index_bench::pibench::dist::Distribution;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let records = flag_value(args, "--records").unwrap_or(50_000);
+    let ops = flag_value(args, "--ops").unwrap_or(200_000);
+    let cache_mb = flag_value(args, "--cache-mb").unwrap_or(16) as usize;
+
+    let pool = Arc::new(PmPool::new(256 << 20, PmConfig::real()));
+    let alloc = PmAllocator::format(pool.clone(), AllocMode::General);
+    let inner = FpTree::create(alloc, FpTreeConfig::default());
+    for k in 0..records {
+        inner.insert(k, k);
+    }
+    let cached = CachedIndex::new(inner as Arc<dyn RangeIndex>, cache_mb << 20);
+
+    // 90/10 lookup/update under a hot-key storm: the worst case the
+    // tier is built for, so the hit rate must be substantial.
+    let sampler = Distribution::HotStorm {
+        hot: (records / 100).max(1),
+        frac: 0.9,
+    }
+    .sampler(records);
+    let mut rng = SmallRng::seed_from_u64(0xCAC4E);
+    pool.reset_stats();
+    let t0 = std::time::Instant::now();
+    for i in 0..ops {
+        let k = sampler.sample(&mut rng);
+        if i % 10 == 0 {
+            cached.update(k, rng.gen());
+        } else {
+            cached.lookup(k);
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+
+    let cc = cached.counters();
+    let pm = pool.stats();
+    let mut t = Table::new(vec!["metric", "value"]);
+    t.row(vec!["ops".to_string(), ops.to_string()]);
+    t.row(vec![
+        "Mops/s".to_string(),
+        format!("{:.2}", ops as f64 / dt / 1e6),
+    ]);
+    t.row(vec![
+        "cache slots".to_string(),
+        cached.cache().capacity().to_string(),
+    ]);
+    t.row(vec!["hits".to_string(), cc.hits.to_string()]);
+    t.row(vec!["misses".to_string(), cc.misses.to_string()]);
+    t.row(vec![
+        "hit rate".to_string(),
+        format!("{:.1}%", cc.hit_rate() * 100.0),
+    ]);
+    t.row(vec!["fills".to_string(), cc.fills.to_string()]);
+    t.row(vec!["evictions".to_string(), cc.evictions.to_string()]);
+    t.row(vec![
+        "invalidations".to_string(),
+        cc.invalidations.to_string(),
+    ]);
+    t.row(vec!["PM read bytes".to_string(), pm.read_bytes.to_string()]);
+    t.row(vec![
+        "PM write bytes".to_string(),
+        pm.write_bytes.to_string(),
+    ]);
+    println!(
+        "cachestat: {records} records, {cache_mb} MiB tier, hot-storm 90/10 \
+         lookup/update:\n"
+    );
+    print!("{}", t.to_text());
+    if cc.hits == 0 {
+        println!("\nRESULT: cache tier never hit — the DRAM tier is not working.");
+        std::process::exit(1);
+    }
+    println!(
+        "\nRESULT: cache tier serving — {:.1}% of lookups never touched PM.",
+        cc.hit_rate() * 100.0
     );
 }

@@ -51,6 +51,7 @@
 //! ```
 
 pub use bztree;
+pub use cache;
 pub use crashpoint;
 pub use dram_index;
 pub use engine;

@@ -116,10 +116,11 @@ fn crash_at_every_boundary_through_a_merge_recovers() {
         let alloc = PmAllocator::format(pool.clone(), AllocMode::General);
         let t = LearnedIndex::create(alloc, cfg);
         let mut model: BTreeMap<u64, u64> = BTreeMap::new();
-        // Log capacity rounds up to one whole 64-entry chunk, so 63
-        // acked inserts leave it one entry short and the 64th append
-        // fills it and fires the merge.
-        for k in 0..63u64 {
+        // Log capacity rounds up to one whole 64-entry chunk. Appends
+        // claim slots while capacity remains, so 64 acked inserts fill
+        // the log exactly; the 65th finds it full and fires the merge
+        // before re-appending.
+        for k in 0..64u64 {
             assert!(t.insert(k * 11, k + 1));
             model.insert(k * 11, k + 1);
         }
